@@ -1,0 +1,57 @@
+"""Shared setup for the per-figure benchmarks.
+
+Every benchmark regenerates one figure of the paper at a laptop-scale
+configuration.  Set ``MCSS_BENCH_USERS`` to scale the traces up or
+down (default 8000 users; the paper ran millions on a 132 GB server).
+
+Run:  pytest benchmarks/ --benchmark-only -s
+(the -s shows the rendered tables next to the timings)
+"""
+
+from __future__ import annotations
+
+import os
+
+import pytest
+
+from repro.experiments import ExperimentScale, make_plan, make_trace
+
+BENCH_USERS = int(os.environ.get("MCSS_BENCH_USERS", "8000"))
+BENCH_SEED = int(os.environ.get("MCSS_BENCH_SEED", "42"))
+
+SCALE = ExperimentScale(num_users=BENCH_USERS, seed=BENCH_SEED, target_vms=120)
+
+
+@pytest.fixture(scope="session")
+def spotify_trace():
+    return make_trace("spotify", SCALE)
+
+
+@pytest.fixture(scope="session")
+def twitter_trace():
+    return make_trace("twitter", SCALE)
+
+
+@pytest.fixture(scope="session")
+def spotify_plans(spotify_trace):
+    return {
+        name: make_plan(name, spotify_trace.workload, SCALE)
+        for name in ("c3.large", "c3.xlarge")
+    }
+
+
+@pytest.fixture(scope="session")
+def twitter_plans(twitter_trace):
+    return {
+        name: make_plan(name, twitter_trace.workload, SCALE)
+        for name in ("c3.large", "c3.xlarge")
+    }
+
+
+def run_once(benchmark, fn):
+    """Run an experiment exactly once under pytest-benchmark timing.
+
+    Figure experiments take seconds to minutes; re-running them for
+    statistical rounds would multiply the wall-clock for no insight.
+    """
+    return benchmark.pedantic(fn, rounds=1, iterations=1)

@@ -1,0 +1,115 @@
+"""Ablation benches for the design choices DESIGN.md calls out.
+
+Not paper figures -- these quantify the choices the paper makes
+implicitly:
+
+* Stage-1 ablation: benefit-cost greedy vs per-subscriber-exact
+  knapsack DP vs naive random (quality and runtime);
+* Stage-2 ablation: CBP vs the generic bin-packing family (best-fit,
+  first-fit-decreasing) -- the Section-V claim that application-
+  oblivious packers cannot recover the ingest savings;
+* pricing ablation: flat $0.12/GB vs the real tiered EC2 schedule --
+  the paper's flattening must not change who wins.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import replace
+
+import pytest
+
+from repro.core import MCSSProblem
+from repro.packing import get_packer
+from repro.pricing import TieredBandwidthCost
+from repro.selection import get_selector
+from repro.solver import MCSSSolver
+
+from .conftest import run_once
+
+TAU = 100
+
+
+def test_stage1_ablation(benchmark, twitter_trace, twitter_plans):
+    problem = MCSSProblem(
+        twitter_trace.workload, TAU, twitter_plans["c3.large"]
+    )
+
+    def measure():
+        out = {}
+        for name in ("gsp", "knapsack", "rsp"):
+            selector = get_selector(name)
+            t0 = time.perf_counter()
+            selection = selector.select(problem)
+            seconds = time.perf_counter() - t0
+            out[name] = (
+                selection.single_vm_bytes(problem.workload),
+                seconds,
+                selection.num_pairs,
+            )
+        return out
+
+    out = run_once(benchmark, measure)
+    print()
+    for name, (bytes_, seconds, pairs) in out.items():
+        print(f"  {name:10s} {bytes_ / 1e9:8.3f} GB  {seconds:7.2f}s  {pairs} pairs")
+
+    # Quality ordering: exact <= greedy <= random.
+    assert out["knapsack"][0] <= out["gsp"][0] * (1 + 1e-9)
+    assert out["gsp"][0] <= out["rsp"][0] * (1 + 1e-9)
+    # The greedy is near the per-subscriber optimum (the paper's
+    # justification for skipping the DP).
+    assert out["gsp"][0] <= out["knapsack"][0] * 1.10
+
+
+def test_stage2_ablation(benchmark, twitter_trace, twitter_plans):
+    problem = MCSSProblem(
+        twitter_trace.workload, TAU, twitter_plans["c3.large"]
+    )
+    selection = get_selector("gsp").select(problem)
+
+    def measure():
+        out = {}
+        for name in ("cbp", "ffbp", "bfbp", "ffdbp"):
+            t0 = time.perf_counter()
+            placement = get_packer(name).pack(problem, selection)
+            seconds = time.perf_counter() - t0
+            out[name] = (
+                problem.cost_of(placement).total_usd,
+                placement.total_incoming_bytes,
+                placement.num_vms,
+                seconds,
+            )
+        return out
+
+    out = run_once(benchmark, measure)
+    print()
+    for name, (usd, ingest, vms, seconds) in out.items():
+        print(
+            f"  {name:6s} ${usd:.4f}  ingest {ingest / 1e9:6.3f} GB  "
+            f"{vms:4d} VMs  {seconds:6.2f}s"
+        )
+
+    # Topic grouping wins the ingest battle against every generic packer.
+    for generic in ("ffbp", "bfbp", "ffdbp"):
+        assert out["cbp"][1] <= out[generic][1] * (1 + 1e-9)
+
+
+def test_pricing_ablation(benchmark, twitter_trace, twitter_plans):
+    flat_plan = twitter_plans["c3.large"]
+    tiered_plan = replace(flat_plan, bandwidth_cost=TieredBandwidthCost())
+
+    def measure():
+        out = {}
+        for label, plan in (("flat", flat_plan), ("tiered", tiered_plan)):
+            problem = MCSSProblem(twitter_trace.workload, TAU, plan)
+            ours = MCSSSolver.paper().solve(problem).cost.total_usd
+            naive = MCSSSolver.naive().solve(problem).cost.total_usd
+            out[label] = 1 - ours / naive
+        return out
+
+    out = run_once(benchmark, measure)
+    print(f"\n  savings: flat {out['flat']:.1%}, tiered {out['tiered']:.1%}")
+    # The paper's flattening does not flip the outcome.
+    assert out["flat"] > 0 and out["tiered"] > 0
+    assert abs(out["flat"] - out["tiered"]) < 0.25

@@ -1,0 +1,47 @@
+"""Bound-quality ablation: Algorithm 5 vs the LP relaxation.
+
+Not a paper figure -- it quantifies how loose the paper's yardstick is.
+Algorithm 5 ignores incoming bandwidth and relaxes topic choices
+fractionally; the LP relaxation pays for ingest but relaxes pair
+integrality.  The two are incomparable; their max is the honest
+yardstick for the heuristic's true optimality gap.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.bounds import best_lower_bound, lower_bound, lp_lower_bound
+from repro.core import MCSSProblem
+from repro.solver import MCSSSolver
+
+from .conftest import run_once
+
+
+def test_bound_comparison(benchmark, twitter_trace, twitter_plans):
+    plan = twitter_plans["c3.large"]
+
+    def measure():
+        rows = []
+        for tau in (10, 100, 1000):
+            problem = MCSSProblem(twitter_trace.workload, tau, plan)
+            heuristic = MCSSSolver.paper().solve(problem).cost.total_usd
+            alg5 = lower_bound(problem).total_usd
+            lp = lp_lower_bound(problem).total_usd
+            best = best_lower_bound(problem).total_usd
+            rows.append((tau, heuristic, alg5, lp, best))
+        return rows
+
+    rows = run_once(benchmark, measure)
+    print()
+    print(f"  {'tau':>5} {'heuristic':>12} {'alg5':>12} {'lp':>12} {'gap(best)':>10}")
+    for tau, heuristic, alg5, lp, best in rows:
+        print(
+            f"  {tau:>5} {heuristic:>12.5f} {alg5:>12.5f} {lp:>12.5f} "
+            f"{heuristic / best - 1:>9.0%}"
+        )
+        # Soundness of every bound.
+        assert alg5 <= heuristic * (1 + 1e-9)
+        assert lp <= heuristic * (1 + 1e-6)
+        assert best <= heuristic * (1 + 1e-6)
+        assert best >= max(alg5, lp) - 1e-12

@@ -1,0 +1,61 @@
+"""Dynamic reprovisioning bench (the paper's §VI future work, built).
+
+Runs ten epochs of churn over a Twitter-like workload and measures the
+stability/optimality trade-off of the incremental reprovisioner:
+
+* drift: incremental cost over a from-scratch solve per epoch
+  (bounded by the rebuild threshold by construction);
+* churn amplification: pairs moved per epoch relative to the pairs the
+  churn itself touched (an online allocator should not reshuffle the
+  world to absorb a 4% workload change).
+"""
+
+from __future__ import annotations
+
+from repro.core import MCSSProblem, validate_placement
+from repro.dynamic import ChurnConfig, ChurnModel, IncrementalReprovisioner
+
+from .conftest import run_once
+
+
+def test_dynamic_reprovisioning_epochs(benchmark, twitter_trace, twitter_plans):
+    # Rate drift can push the largest topic past the calibrated
+    # feasibility floor over ten epochs; give the plan 2x headroom.
+    plan = twitter_plans["c3.large"].scaled(2.0)
+    problem = MCSSProblem(twitter_trace.workload, 100, plan)
+
+    def measure():
+        reprov = IncrementalReprovisioner(problem, rebuild_threshold=1.15)
+        model = ChurnModel(
+            problem.workload,
+            ChurnConfig(
+                unsubscribe_fraction=0.02,
+                subscribe_fraction=0.02,
+                rate_drift_sigma=0.03,
+            ),
+            seed=5,
+        )
+        epochs = []
+        for _ in range(10):
+            delta = model.step()
+            churn_pairs = len(delta.subscribed) + len(delta.unsubscribed)
+            epoch = reprov.step(delta)
+            audit = validate_placement(reprov.problem, reprov.placement())
+            assert audit.ok, str(audit)
+            epochs.append((epoch, churn_pairs))
+        return epochs
+
+    epochs = run_once(benchmark, measure)
+    print()
+    print(f"  {'epoch':>5} {'drift':>7} {'moved':>7} {'churned':>8} {'rebuilt':>8}")
+    drifts = []
+    for epoch, churn_pairs in epochs:
+        moved = epoch.pairs_added + epoch.pairs_removed + epoch.pairs_moved
+        drifts.append(epoch.drift)
+        print(
+            f"  {epoch.epoch:>5} {epoch.drift:>7.3f} {moved:>7} "
+            f"{churn_pairs:>8} {'yes' if epoch.rebuilt else '':>8}"
+        )
+        assert epoch.drift <= 1.15 + 1e-6, "rebuild threshold must cap drift"
+    # The incremental solution stays close to fresh solves on average.
+    assert sum(drifts) / len(drifts) < 1.15

@@ -1,0 +1,88 @@
+"""Section II-D/III-C: the hardness reduction and heuristic optimality.
+
+Not a paper figure but the paper's two formal claims, exercised:
+
+* Theorem II.2 -- Partition instances and their reduced DCSS instances
+  must decide identically (swept over a batch of multisets);
+* Section III-C -- the two-stage heuristic is near-optimal: measured
+  against the exact MILP on a batch of small instances.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core import MCSSProblem, Workload
+from repro.exact import solve_exact, verify_reduction
+from repro.pricing import (
+    LinearBandwidthCost,
+    LinearVMCost,
+    PricingPlan,
+    get_instance,
+)
+from repro.solver import MCSSSolver
+
+from .conftest import run_once
+
+MULTISETS = [
+    [1, 1],
+    [2, 3],
+    [1, 5, 6],
+    [3, 1, 1, 2, 2, 1],
+    [4, 5, 6, 7, 8],
+    [2, 2, 2, 2],
+    [9, 3, 3, 3],
+    [5, 4, 3, 2, 1, 1],
+    [6, 6, 6, 6, 6, 6],
+    [7, 1, 1, 1, 1, 1, 2],
+]
+
+
+def test_reduction_sweep(benchmark):
+    outcomes = run_once(
+        benchmark, lambda: [verify_reduction(values) for values in MULTISETS]
+    )
+    for outcome in outcomes:
+        assert outcome.agree, f"disagreement on {outcome.values}"
+    yes = sum(1 for o in outcomes if o.partition_answer)
+    print(f"\n{len(outcomes)} multisets decided, {yes} partitionable; all agree")
+
+
+def test_heuristic_gap_vs_exact(benchmark):
+    rng = np.random.default_rng(2024)
+
+    def measure():
+        gaps = []
+        for _ in range(10):
+            num_topics = int(rng.integers(2, 5))
+            num_subs = int(rng.integers(2, 5))
+            rates = rng.integers(1, 10, size=num_topics).astype(float)
+            interests = [
+                sorted(
+                    rng.choice(
+                        num_topics,
+                        size=int(rng.integers(1, num_topics + 1)),
+                        replace=False,
+                    ).tolist()
+                )
+                for _ in range(num_subs)
+            ]
+            workload = Workload(rates, interests, message_size_bytes=1.0)
+            plan = PricingPlan(
+                instance=get_instance("c3.large"),
+                period_hours=1.0,
+                bandwidth_cost=LinearBandwidthCost(usd_per_gb=1e8),
+                vm_cost=LinearVMCost(5.0),
+                capacity_bytes_override=5.0 * float(rates.max()),
+            )
+            problem = MCSSProblem(workload, tau=7, plan=plan)
+            exact = solve_exact(problem, max_vms=4)
+            heuristic = MCSSSolver.paper().solve(problem)
+            gaps.append(heuristic.cost.total_usd / exact.cost.total_usd - 1)
+        return gaps
+
+    gaps = run_once(benchmark, measure)
+    mean_gap = sum(gaps) / len(gaps)
+    print(f"\nheuristic-vs-exact gaps: mean {mean_gap:.1%}, max {max(gaps):.1%}")
+    assert all(g >= -1e-9 for g in gaps), "heuristic cannot beat the optimum"
+    assert mean_gap < 0.25, "Section III-C: sub-optimality should be small"

@@ -1,0 +1,42 @@
+"""Figure 2: the Spotify cost-optimization ladder (2a: c3.large,
+2b: c3.xlarge).
+
+Regenerates, per tau in {10, 100, 1000}, the total cost / VM count /
+bandwidth of: RSP+FFBP, GSP+FFBP, and CBP with optimizations (b)-(e),
+plus the Algorithm-5 lower bound.
+
+Paper expectations (shape, not absolute dollars): the full solution
+saves up to ~38% over the naive baseline, savings shrink as tau grows,
+and the ladder's later rungs contribute a few extra percent.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.experiments import PAPER_TAUS, run_cost_ladder
+
+from .conftest import run_once
+
+
+@pytest.mark.parametrize("instance", ["c3.large", "c3.xlarge"])
+def test_fig2_spotify_ladder(benchmark, spotify_trace, spotify_plans, instance):
+    plan = spotify_plans[instance]
+
+    result = run_once(
+        benchmark,
+        lambda: run_cost_ladder(
+            spotify_trace.workload, plan, PAPER_TAUS, trace_name="spotify"
+        ),
+    )
+    print()
+    print(result.render())
+
+    # Shape assertions from the paper.
+    for tau in PAPER_TAUS:
+        assert result.savings(tau) > 0.10, f"tau={tau}: expected real savings"
+        lb = result.cell("lower-bound", tau).cost_usd
+        ours = result.cell("(e) +cost-decision", tau).cost_usd
+        assert lb <= ours
+    # Savings shrink as tau grows (tau=10 vs tau=1000).
+    assert result.savings(10) >= result.savings(1000) - 0.02

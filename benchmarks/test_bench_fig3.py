@@ -1,0 +1,38 @@
+"""Figure 3: the Twitter cost-optimization ladder (3a: c3.large,
+3b: c3.xlarge).
+
+Paper expectations: savings are much larger than on Spotify (up to
+~71-74% at tau=10) because the heavy-tailed tweet rates give greedy
+selection more slack to exploit, and they decay towards ~20-30% at
+tau=1000.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.experiments import PAPER_TAUS, run_cost_ladder
+
+from .conftest import run_once
+
+
+@pytest.mark.parametrize("instance", ["c3.large", "c3.xlarge"])
+def test_fig3_twitter_ladder(benchmark, twitter_trace, twitter_plans, instance):
+    plan = twitter_plans[instance]
+
+    result = run_once(
+        benchmark,
+        lambda: run_cost_ladder(
+            twitter_trace.workload, plan, PAPER_TAUS, trace_name="twitter"
+        ),
+    )
+    print()
+    print(result.render())
+
+    for tau in PAPER_TAUS:
+        assert result.savings(tau) > 0.15, f"tau={tau}: expected large savings"
+        lb = result.cell("lower-bound", tau).cost_usd
+        assert lb <= result.cell("(e) +cost-decision", tau).cost_usd
+    # The headline: big savings at tau=10, decaying by tau=1000.
+    assert result.savings(10) > 0.45
+    assert result.savings(10) >= result.savings(1000)

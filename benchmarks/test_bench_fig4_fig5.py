@@ -1,0 +1,74 @@
+"""Figures 4-5: Stage-1 runtime, GSP vs RSP, per tau.
+
+Paper expectations: RSP is faster than GSP (it inspects fewer pairs),
+both are near-constant in tau, and the Twitter trace costs much more
+than Spotify purely by size.  Absolute seconds differ (C++/Xeon there,
+Python here); the ordering is what must hold.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.experiments import PAPER_TAUS, run_stage1_runtime
+
+from .conftest import run_once
+
+
+def test_fig4_stage1_runtime_spotify(benchmark, spotify_trace, spotify_plans):
+    result = run_once(
+        benchmark,
+        lambda: run_stage1_runtime(
+            spotify_trace.workload,
+            spotify_plans["c3.large"],
+            PAPER_TAUS,
+            trace_name="spotify",
+        ),
+    )
+    print()
+    print(result.render())
+    for tau in PAPER_TAUS:
+        assert result.seconds["GreedySelectPairs"][tau] > 0
+        assert result.seconds["RandomSelectPairs"][tau] > 0
+
+
+def test_fig5_stage1_runtime_twitter(benchmark, twitter_trace, twitter_plans):
+    result = run_once(
+        benchmark,
+        lambda: run_stage1_runtime(
+            twitter_trace.workload,
+            twitter_plans["c3.large"],
+            PAPER_TAUS,
+            trace_name="twitter",
+        ),
+    )
+    print()
+    print(result.render())
+    # GSP looks at every pair; RSP stops early.  At tau=10 the gap is
+    # clearest (RSP grabs the first pair or two per subscriber).
+    assert (
+        result.seconds["GreedySelectPairs"][10]
+        >= result.seconds["RandomSelectPairs"][10] * 0.8
+    )
+
+
+def test_fig4_fig5_twitter_larger_than_spotify(
+    benchmark, spotify_trace, twitter_trace, spotify_plans, twitter_plans
+):
+    """The cross-figure claim: the bigger trace costs more to select."""
+
+    def run_both():
+        sp = run_stage1_runtime(
+            spotify_trace.workload, spotify_plans["c3.large"], (100,)
+        )
+        tw = run_stage1_runtime(
+            twitter_trace.workload, twitter_plans["c3.large"], (100,)
+        )
+        return sp, tw
+
+    sp, tw = run_once(benchmark, run_both)
+    if twitter_trace.workload.num_pairs > 2 * spotify_trace.workload.num_pairs:
+        assert (
+            tw.seconds["GreedySelectPairs"][100]
+            > sp.seconds["GreedySelectPairs"][100]
+        )

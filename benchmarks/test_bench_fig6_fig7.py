@@ -1,0 +1,48 @@
+"""Figures 6-7: Stage-2 runtime, CBP vs FFBP (Stage 1 fixed to GSP).
+
+Paper expectations: CustomBinPacking beats FFBinPacking by ~10x on the
+Spotify trace and up to ~1000x on Twitter -- grouping drops the unit of
+work from a pair to a topic, while first-fit scans the fleet per pair.
+The gap must grow with trace size.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.experiments import PAPER_TAUS, run_stage2_runtime
+
+from .conftest import run_once
+
+
+def test_fig6_stage2_runtime_spotify(benchmark, spotify_trace, spotify_plans):
+    result = run_once(
+        benchmark,
+        lambda: run_stage2_runtime(
+            spotify_trace.workload,
+            spotify_plans["c3.large"],
+            PAPER_TAUS,
+            trace_name="spotify",
+        ),
+    )
+    print()
+    print(result.render())
+    for tau in PAPER_TAUS:
+        assert result.speedup(tau) > 1.0, f"tau={tau}: CBP must beat FFBP"
+
+
+def test_fig7_stage2_runtime_twitter(benchmark, twitter_trace, twitter_plans):
+    result = run_once(
+        benchmark,
+        lambda: run_stage2_runtime(
+            twitter_trace.workload,
+            twitter_plans["c3.large"],
+            PAPER_TAUS,
+            trace_name="twitter",
+        ),
+    )
+    print()
+    print(result.render())
+    # The big-trace gap: an order of magnitude or more at tau=1000
+    # (the paper reports ~1000x at 683M pairs; scale-dependent).
+    assert result.speedup(1000) > 5.0

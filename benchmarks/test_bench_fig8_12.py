@@ -1,0 +1,78 @@
+"""Figures 8-12: the Appendix-D Twitter trace analysis.
+
+Regenerates each figure's data series from the synthetic Twitter-like
+trace and asserts its distinguishing shape:
+
+* Fig. 8 -- power-law follower/following CCDFs with the man-made
+  glitch at 20 followings;
+* Fig. 9 -- heavy-tailed event rates with a bot tail >= 1000;
+* Fig. 10 -- mean rate grows with follower count, depressed celebrity
+  cloud at the top;
+* Fig. 11 -- heavy-tailed subscription cardinality;
+* Fig. 12 -- mean SC grows with following count.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.analysis import ccdf
+from repro.experiments import run_trace_figure
+
+from .conftest import run_once
+
+
+def test_fig8_follower_following_ccdf(benchmark, twitter_trace):
+    figure = run_once(benchmark, lambda: run_trace_figure("fig8", twitter_trace))
+    print()
+    print(figure.render(points=8))
+
+    followings = twitter_trace.graph.following_counts()
+    at_20 = (followings == 20).mean()
+    neighbours = ((followings >= 15) & (followings <= 25) & (followings != 20)).mean() / 10
+    assert at_20 > 2 * neighbours, "the 20-followings glitch must be visible"
+
+    followers = twitter_trace.graph.follower_counts
+    slope = ccdf(followers[followers >= 1]).tail_exponent(x_min=5)
+    assert slope < -0.5, "follower CCDF must be heavy-tailed"
+
+
+def test_fig9_event_rate_ccdf(benchmark, twitter_trace):
+    figure = run_once(benchmark, lambda: run_trace_figure("fig9", twitter_trace))
+    print()
+    print(figure.render(points=8))
+
+    rates = twitter_trace.workload.event_rates
+    assert (rates >= 1000).sum() > 0, "bot tail missing"
+    assert (rates < 10).mean() > 0.25, "low-activity body missing"
+
+
+def test_fig10_rate_vs_followers(benchmark, twitter_trace):
+    figure = run_once(benchmark, lambda: run_trace_figure("fig10", twitter_trace))
+    print()
+    print(figure.render(points=8))
+
+    _name, x, y = figure.series[0]
+    # Rising trend through the body of the distribution.
+    mid = len(y) // 2
+    assert y[mid] > y[0]
+
+
+def test_fig11_subscription_cardinality(benchmark, twitter_trace):
+    figure = run_once(benchmark, lambda: run_trace_figure("fig11", twitter_trace))
+    print()
+    print(figure.render(points=8))
+
+    _name, x, y = figure.series[0]
+    assert float(np.max(x)) <= 100.0  # SC is a percentage
+    assert (np.diff(y) <= 1e-12).all()  # CCDF is non-increasing
+
+
+def test_fig12_sc_vs_followings(benchmark, twitter_trace):
+    figure = run_once(benchmark, lambda: run_trace_figure("fig12", twitter_trace))
+    print()
+    print(figure.render(points=8))
+
+    _name, x, y = figure.series[0]
+    assert y[-1] > y[0], "SC must grow with followings"

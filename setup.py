@@ -1,0 +1,10 @@
+"""Legacy setup shim.
+
+The project is fully described by ``pyproject.toml``; this file exists
+only so ``pip install -e .`` works in offline environments without the
+``wheel`` package (pip then falls back to ``setup.py develop``).
+"""
+
+from setuptools import setup
+
+setup()

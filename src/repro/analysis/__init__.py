@@ -1,0 +1,28 @@
+"""Trace analysis: CCDFs and the Appendix-D statistics (Figs. 8-12)."""
+
+from .asciiplot import loglog_plot
+from .ccdf import CCDF, ccdf
+from .trace_stats import (
+    BinnedMeans,
+    event_rate_ccdf,
+    follower_ccdf,
+    following_ccdf,
+    mean_rate_by_followers,
+    mean_sc_by_followings,
+    subscription_cardinality,
+    subscription_cardinality_ccdf,
+)
+
+__all__ = [
+    "loglog_plot",
+    "CCDF",
+    "ccdf",
+    "BinnedMeans",
+    "event_rate_ccdf",
+    "follower_ccdf",
+    "following_ccdf",
+    "mean_rate_by_followers",
+    "mean_sc_by_followings",
+    "subscription_cardinality",
+    "subscription_cardinality_ccdf",
+]

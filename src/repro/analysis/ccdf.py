@@ -1,0 +1,58 @@
+"""Complementary cumulative distribution functions.
+
+Appendix D characterizes the Twitter trace almost entirely through
+CCDFs on log-log axes (Figs. 8, 9, 11).  The paper's footnote 2 defines
+the CCDF as ``P(X > x)``; :func:`ccdf` computes exactly that over the
+distinct values of a sample.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Tuple
+
+import numpy as np
+
+__all__ = ["CCDF", "ccdf"]
+
+
+@dataclass(frozen=True)
+class CCDF:
+    """An empirical CCDF: ``probability[i] = P(X > value[i])``."""
+
+    values: np.ndarray
+    probabilities: np.ndarray
+
+    def at(self, x: float) -> float:
+        """Evaluate ``P(X > x)``."""
+        idx = np.searchsorted(self.values, x, side="right") - 1
+        if idx < 0:
+            return 1.0
+        return float(self.probabilities[idx])
+
+    def tail_exponent(self, x_min: float = 1.0) -> float:
+        """Least-squares slope of the log-log tail (a power-law check).
+
+        A CCDF ``~ x^-a`` has slope ``-a``; the estimate regresses
+        ``log P`` on ``log x`` over values ``>= x_min`` with positive
+        probability.  Crude but sufficient for shape assertions.
+        """
+        mask = (self.values >= x_min) & (self.probabilities > 0)
+        if mask.sum() < 2:
+            raise ValueError("not enough tail points for a slope estimate")
+        logx = np.log10(self.values[mask].astype(np.float64))
+        logp = np.log10(self.probabilities[mask])
+        slope, _intercept = np.polyfit(logx, logp, 1)
+        return float(slope)
+
+
+def ccdf(samples: np.ndarray) -> CCDF:
+    """Empirical CCDF ``P(X > x)`` over the distinct sample values."""
+    samples = np.asarray(samples, dtype=np.float64)
+    if samples.size == 0:
+        raise ValueError("need at least one sample")
+    values, counts = np.unique(samples, return_counts=True)
+    # P(X > values[i]) = (# samples strictly greater) / n
+    greater = counts[::-1].cumsum()[::-1] - counts
+    probabilities = greater / samples.size
+    return CCDF(values=values, probabilities=probabilities)

@@ -1,0 +1,145 @@
+"""Trace statistics behind Figures 8-12 (Appendix D).
+
+Everything operates on the *uncompacted*
+:class:`~repro.workloads.social.SocialGraph` (the figures include
+inactive users where the paper's do) or, for subscription cardinality,
+on the compacted workload.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Tuple
+
+import numpy as np
+
+from ..core import Workload
+from ..workloads.social import SocialGraph
+from .ccdf import CCDF, ccdf
+
+__all__ = [
+    "follower_ccdf",
+    "following_ccdf",
+    "event_rate_ccdf",
+    "subscription_cardinality",
+    "subscription_cardinality_ccdf",
+    "BinnedMeans",
+    "mean_rate_by_followers",
+    "mean_sc_by_followings",
+]
+
+
+def follower_ccdf(graph: SocialGraph) -> CCDF:
+    """Fig. 8 (one series): CCDF of per-user follower counts."""
+    return ccdf(graph.follower_counts)
+
+
+def following_ccdf(graph: SocialGraph) -> CCDF:
+    """Fig. 8 (other series): CCDF of per-user following counts."""
+    return ccdf(graph.following_counts())
+
+
+def event_rate_ccdf(graph: SocialGraph) -> CCDF:
+    """Fig. 9: CCDF of events published per user over the period.
+
+    Restricted to active users (>= 1 event), matching the paper's
+    preprocessing.
+    """
+    counts = graph.event_counts
+    return ccdf(counts[counts >= 1])
+
+
+def subscription_cardinality(workload: Workload) -> np.ndarray:
+    """Per-subscriber SC: her share of all published events, in percent.
+
+    ``SC_v = 100 * sum(ev_t for t in Tv) / sum(ev_t for t in T)``
+    (defined in [6] and used in Figs. 11-12).
+    """
+    total = float(workload.event_rates.sum())
+    if total <= 0:
+        raise ValueError("workload has no events")
+    return workload.interest_rate_sums() / total * 100.0
+
+
+def subscription_cardinality_ccdf(workload: Workload) -> CCDF:
+    """Fig. 11: CCDF of subscription cardinality."""
+    sc = subscription_cardinality(workload)
+    return ccdf(sc[sc > 0])
+
+
+@dataclass(frozen=True)
+class BinnedMeans:
+    """Mean of ``y`` grouped by log-spaced bins of ``x``."""
+
+    bin_centers: np.ndarray
+    means: np.ndarray
+    counts: np.ndarray
+
+
+def _binned_means(x: np.ndarray, y: np.ndarray, bins_per_decade: int = 4) -> BinnedMeans:
+    mask = x >= 1
+    x = x[mask].astype(np.float64)
+    y = y[mask].astype(np.float64)
+    if x.size == 0:
+        raise ValueError("no points with x >= 1")
+    hi = np.log10(x.max()) + 1e-9
+    edges = np.logspace(0, hi, max(2, int(hi * bins_per_decade) + 1))
+    idx = np.clip(np.digitize(x, edges) - 1, 0, edges.size - 2)
+    centers = np.sqrt(edges[:-1] * edges[1:])
+    sums = np.bincount(idx, weights=y, minlength=edges.size - 1)
+    counts = np.bincount(idx, minlength=edges.size - 1)
+    occupied = counts > 0
+    return BinnedMeans(
+        bin_centers=centers[occupied],
+        means=sums[occupied] / counts[occupied],
+        counts=counts[occupied],
+    )
+
+
+def mean_rate_by_followers(graph: SocialGraph, bins_per_decade: int = 4) -> BinnedMeans:
+    """Fig. 10: mean event rate as a function of follower count.
+
+    The paper's shape: near-linear growth up to the celebrity scale,
+    then a depressed cloud (celebrities have many followers but tweet
+    comparatively little).
+    """
+    return _binned_means(
+        graph.follower_counts, graph.event_counts, bins_per_decade
+    )
+
+
+def mean_sc_by_followings(
+    graph: SocialGraph, workload: Workload, bins_per_decade: int = 4
+) -> BinnedMeans:
+    """Fig. 12: mean subscription cardinality vs following count.
+
+    Only users that survived compaction into subscribers contribute
+    (inactive-topic followings hold no events); SC grows linearly with
+    followings, with the 20/2000 anomalies inherited from Fig. 8.
+    """
+    # Rebuild the subscriber <-> user alignment the compaction used:
+    # subscribers are the users with >= 1 active followed topic, in
+    # user order.
+    active = (graph.event_counts >= 1) & (graph.follower_counts >= 1)
+    total = float(workload.event_rates.sum())
+    sc_by_subscriber = workload.interest_rate_sums() / total * 100.0
+
+    followings = []
+    sc = []
+    sub = 0
+    active_set = np.flatnonzero(active)
+    active_mask = np.zeros(graph.num_users, dtype=bool)
+    active_mask[active_set] = True
+    for u in range(graph.num_users):
+        mapped = graph.followings[u]
+        if mapped.size and active_mask[mapped].any():
+            if sub >= workload.num_subscribers:
+                raise ValueError("graph/workload mismatch: not the same trace?")
+            followings.append(mapped.size)
+            sc.append(sc_by_subscriber[sub])
+            sub += 1
+    if sub != workload.num_subscribers:
+        raise ValueError("graph/workload mismatch: not the same trace?")
+    return _binned_means(
+        np.asarray(followings), np.asarray(sc), bins_per_decade
+    )

@@ -1,0 +1,18 @@
+"""Lower bounds for MCSS.
+
+* :func:`lower_bound` -- the paper's Algorithm 5 (Appendix C), cheap
+  and ingest-blind;
+* :func:`lp_lower_bound` -- the LP relaxation of the MCSS integer
+  program, strictly stronger (it pays for ingest) at the price of an
+  LP solve.
+"""
+
+from .lower import lower_bound, lower_bound_bytes
+from .lp import best_lower_bound, lp_lower_bound
+
+__all__ = [
+    "lower_bound",
+    "lower_bound_bytes",
+    "lp_lower_bound",
+    "best_lower_bound",
+]

@@ -1,0 +1,24 @@
+"""Broker runtime substrate: placements materialized as running nodes.
+
+The optimizer plans; this package runs the plan: subscription tables,
+event dispatch, runtime subscribe/unsubscribe, capacity enforcement,
+metrics, and an M/G/1 latency/utilization view of the fleet.
+"""
+
+from .cluster import BrokerCluster, ClusterLatencyReport
+from .latency import LatencyModel, VMLatency
+from .metrics import Counter, Gauge, Histogram, MetricsRegistry
+from .node import BrokerNode, NodeOverloadError
+
+__all__ = [
+    "BrokerCluster",
+    "ClusterLatencyReport",
+    "LatencyModel",
+    "VMLatency",
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "BrokerNode",
+    "NodeOverloadError",
+]

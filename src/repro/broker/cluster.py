@@ -1,0 +1,227 @@
+"""The broker cluster: a placement materialized as a running system.
+
+:class:`BrokerCluster` turns an optimizer
+:class:`~repro.core.placement.Placement` into a fleet of
+:class:`~repro.broker.node.BrokerNode` objects with a routing table
+(topic -> hosting nodes), and exposes the operations a pub/sub service
+actually performs:
+
+* ``publish(topic, count)`` -- fan events out through every hosting
+  node to its local subscribers;
+* ``subscribe`` / ``unsubscribe`` -- runtime subscription changes,
+  placed like the incremental reprovisioner would (prefer a node
+  already hosting the topic, else the freest node, else a new node);
+* ``latency_report()`` -- per-node utilization and M/G/1 delay via
+  :class:`~repro.broker.latency.LatencyModel`, answering the question
+  the MCSS plan leaves open: *how close to saturation did cost
+  optimization push each VM, and what does that do to delivery delay?*
+
+The cluster checks conservation invariants (every planned pair served
+exactly once) at construction.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Set, Tuple
+
+from ..core import MCSSProblem, Placement
+from .latency import LatencyModel, VMLatency
+from .node import BrokerNode, NodeOverloadError
+
+__all__ = ["BrokerCluster", "ClusterLatencyReport"]
+
+
+@dataclass(frozen=True)
+class ClusterLatencyReport:
+    """Utilization/delay summary over the fleet."""
+
+    per_node: Tuple[VMLatency, ...]
+
+    @property
+    def max_utilization(self) -> float:
+        """The hottest VM's utilization."""
+        return max((v.utilization for v in self.per_node), default=0.0)
+
+    @property
+    def mean_sojourn_seconds(self) -> float:
+        """Fleet-mean broker transit time (unweighted)."""
+        if not self.per_node:
+            return 0.0
+        return sum(v.mean_sojourn_seconds for v in self.per_node) / len(self.per_node)
+
+    @property
+    def any_saturated(self) -> bool:
+        """Whether any VM is past its stable region."""
+        return any(v.saturated for v in self.per_node)
+
+
+class BrokerCluster:
+    """A running fleet of broker nodes serving one workload."""
+
+    def __init__(self, problem: MCSSProblem, placement: Placement) -> None:
+        self.problem = problem
+        workload = problem.workload
+        self._message_bytes = workload.message_size_bytes
+        self._rates = {
+            t: float(workload.event_rates[t]) for t in range(workload.num_topics)
+        }
+        self._nodes: List[BrokerNode] = []
+        self._hosting: Dict[int, Set[int]] = {}  # topic -> node ids
+
+        for b in range(placement.num_vms):
+            node = BrokerNode(
+                node_id=b,
+                capacity_bytes_per_period=problem.capacity_bytes,
+                message_bytes=self._message_bytes,
+            )
+            self._nodes.append(node)
+        for b, t, subs in placement.iter_assignments():
+            for v in subs:
+                self._nodes[b].subscribe(t, v, self._rates[t])
+            self._hosting.setdefault(t, set()).add(b)
+
+        # Conservation: the runtime serves exactly the planned pairs.
+        planned = placement.num_pairs
+        served = sum(node.num_pairs for node in self._nodes)
+        if planned != served:
+            raise AssertionError(
+                f"cluster construction lost pairs: planned {planned}, "
+                f"serving {served}"
+            )
+
+    # ------------------------------------------------------------------
+    @property
+    def nodes(self) -> Tuple[BrokerNode, ...]:
+        """The fleet (read-only view)."""
+        return tuple(self._nodes)
+
+    @property
+    def num_nodes(self) -> int:
+        """Number of broker VMs (including any added at runtime)."""
+        return len(self._nodes)
+
+    def hosting_nodes(self, topic: int) -> Set[int]:
+        """Ids of the nodes ingesting ``topic``."""
+        return set(self._hosting.get(topic, ()))
+
+    # ------------------------------------------------------------------
+    # Pub/sub operations
+    # ------------------------------------------------------------------
+    def publish(self, topic: int, count: int = 1) -> int:
+        """Publish ``count`` events; returns notifications delivered."""
+        delivered = 0
+        for node_id in self._hosting.get(topic, ()):
+            delivered += self._nodes[node_id].dispatch(topic, count)
+        return delivered
+
+    def subscribe(
+        self,
+        topic: int,
+        subscriber: int,
+        exclude: Optional[Set[int]] = None,
+    ) -> int:
+        """Serve a new pair; returns the node that took it.
+
+        Placement policy mirrors the incremental reprovisioner: a node
+        already ingesting the topic (no extra ingest) with room, else
+        the node with the most free capacity, else a fresh node.
+        ``exclude`` bars specific nodes -- the autoscaler uses it so a
+        node being drained cannot win its own pairs back.
+        """
+        rate = self._rates.get(topic)
+        if rate is None:
+            raise KeyError(f"unknown topic {topic}")
+        barred = exclude or set()
+
+        hosts = sorted(
+            (n for n in self._hosting.get(topic, ()) if n not in barred),
+            key=lambda nid: -self._nodes[nid].free_bytes,
+        )
+        for node_id in hosts:
+            try:
+                self._nodes[node_id].subscribe(topic, subscriber, rate)
+                return node_id
+            except NodeOverloadError:
+                continue
+        others = sorted(
+            (
+                n
+                for n in range(len(self._nodes))
+                if n not in set(hosts) and n not in barred
+            ),
+            key=lambda nid: -self._nodes[nid].free_bytes,
+        )
+        for node_id in others:
+            try:
+                self._nodes[node_id].subscribe(topic, subscriber, rate)
+                self._hosting.setdefault(topic, set()).add(node_id)
+                return node_id
+            except NodeOverloadError:
+                continue
+        node = BrokerNode(
+            node_id=len(self._nodes),
+            capacity_bytes_per_period=self.problem.capacity_bytes,
+            message_bytes=self._message_bytes,
+        )
+        node.subscribe(topic, subscriber, rate)
+        self._nodes.append(node)
+        self._hosting.setdefault(topic, set()).add(node.node_id)
+        return node.node_id
+
+    def unsubscribe(self, topic: int, subscriber: int) -> int:
+        """Drop a pair; returns the node it was served from."""
+        for node_id in self._hosting.get(topic, set()):
+            node = self._nodes[node_id]
+            if subscriber in node.subscribers_of(topic):
+                node.unsubscribe(topic, subscriber)
+                if not node.hosts_topic(topic):
+                    self._hosting[topic].discard(node_id)
+                return node_id
+        raise KeyError(f"({topic}, {subscriber}) not served by the cluster")
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+    def latency_report(
+        self,
+        period_seconds: float,
+        model: Optional[LatencyModel] = None,
+    ) -> ClusterLatencyReport:
+        """Per-node M/G/1 latency at the planned event rates.
+
+        ``period_seconds`` converts the model's per-period rates to
+        events/second; the default latency model derives the line rate
+        from the node capacity over the same period.
+        """
+        if period_seconds <= 0:
+            raise ValueError("period must be positive")
+        if model is None:
+            line_rate = self.problem.capacity_bytes / period_seconds
+            model = LatencyModel(line_rate_bytes_per_sec=line_rate)
+        reports = []
+        for node in self._nodes:
+            events_per_period = node.used_bytes / self._message_bytes
+            reports.append(
+                model.evaluate(events_per_period / period_seconds, self._message_bytes)
+            )
+        return ClusterLatencyReport(per_node=tuple(reports))
+
+    def to_placement(self) -> Placement:
+        """Snapshot the runtime state back into an optimizer Placement."""
+        placement = self.problem.empty_placement()
+        for node in self._nodes:
+            if not list(node.topics):
+                continue
+            b = placement.new_vm()
+            for t in sorted(node.topics):
+                placement.assign(b, t, sorted(node.subscribers_of(t)))
+        return placement
+
+    def metrics_snapshot(self) -> Dict[str, float]:
+        """Fleet-aggregated metrics."""
+        out: Dict[str, float] = {}
+        for node in self._nodes:
+            for name, value in node.metrics.snapshot().items():
+                out[name] = out.get(name, 0.0) + value
+        return out

@@ -1,0 +1,118 @@
+"""Queueing-theory latency model for broker VMs.
+
+The MCSS capacity constraint keeps every VM's *throughput* under its
+bandwidth cap, but a downstream operator also cares about *delay*: a VM
+running at 95% of its cap delivers notifications much later than one at
+50%, even though both are "feasible".  This module prices that effect
+with the standard M/G/1 machinery:
+
+* events arrive Poisson at rate ``lambda`` (the VM's total event rate,
+  ingest plus deliveries);
+* service time per event is the wire time of one message at the VM's
+  line rate (deterministic, so M/D/1 is the default), plus optional
+  per-event CPU overhead;
+* the Pollaczek-Khinchine formula gives the expected wait, and the
+  standard heavy-traffic approximation gives tail quantiles.
+
+The model is intentionally analytic (no simulation): the experiment
+harness evaluates it on every VM of a placement in microseconds, and
+the deployment simulator's metered rates can be plugged in directly.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+__all__ = ["LatencyModel", "VMLatency"]
+
+
+@dataclass(frozen=True)
+class VMLatency:
+    """Latency figures for one VM (all in seconds)."""
+
+    utilization: float
+    service_seconds: float
+    mean_wait_seconds: float
+    p99_wait_seconds: float
+
+    @property
+    def mean_sojourn_seconds(self) -> float:
+        """Expected total time through the broker (wait + service)."""
+        return self.mean_wait_seconds + self.service_seconds
+
+    @property
+    def saturated(self) -> bool:
+        """Whether the VM is at or beyond its stable operating region."""
+        return self.utilization >= 1.0
+
+
+@dataclass(frozen=True)
+class LatencyModel:
+    """An M/G/1 latency model for broker VMs.
+
+    Parameters
+    ----------
+    line_rate_bytes_per_sec:
+        The VM's network line rate; one message of ``message_bytes``
+        occupies the line for ``message_bytes / line_rate`` seconds.
+    cpu_overhead_seconds:
+        Fixed per-event processing cost added to the wire time.
+    service_cv2:
+        Squared coefficient of variation of the service time.  0 gives
+        M/D/1 (deterministic service, the default -- messages are
+        near-constant size); 1 gives M/M/1.
+    """
+
+    line_rate_bytes_per_sec: float
+    cpu_overhead_seconds: float = 5e-6
+    service_cv2: float = 0.0
+
+    def __post_init__(self) -> None:
+        if self.line_rate_bytes_per_sec <= 0:
+            raise ValueError("line rate must be positive")
+        if self.cpu_overhead_seconds < 0:
+            raise ValueError("cpu overhead must be non-negative")
+        if self.service_cv2 < 0:
+            raise ValueError("service_cv2 must be non-negative")
+
+    # ------------------------------------------------------------------
+    def service_time(self, message_bytes: float) -> float:
+        """Per-event service time in seconds."""
+        if message_bytes <= 0:
+            raise ValueError("message size must be positive")
+        return message_bytes / self.line_rate_bytes_per_sec + self.cpu_overhead_seconds
+
+    def evaluate(
+        self, events_per_sec: float, message_bytes: float
+    ) -> VMLatency:
+        """Latency of a VM carrying ``events_per_sec`` total events.
+
+        Uses Pollaczek-Khinchine for the mean wait::
+
+            W = rho * S * (1 + cv^2) / (2 * (1 - rho))
+
+        and the exponential-tail approximation ``p99 ~ W * ln(100)``
+        (exact for M/M/1, a standard engineering bound for M/G/1).
+        A saturated VM (rho >= 1) reports infinite waits rather than
+        raising -- the caller decides what saturation means.
+        """
+        if events_per_sec < 0:
+            raise ValueError("event rate must be non-negative")
+        service = self.service_time(message_bytes)
+        rho = events_per_sec * service
+        if rho >= 1.0:
+            return VMLatency(
+                utilization=rho,
+                service_seconds=service,
+                mean_wait_seconds=float("inf"),
+                p99_wait_seconds=float("inf"),
+            )
+        mean_wait = rho * service * (1.0 + self.service_cv2) / (2.0 * (1.0 - rho))
+        p99 = mean_wait * math.log(100.0) if mean_wait > 0 else 0.0
+        return VMLatency(
+            utilization=rho,
+            service_seconds=service,
+            mean_wait_seconds=mean_wait,
+            p99_wait_seconds=p99,
+        )

@@ -1,0 +1,130 @@
+"""Lightweight metrics primitives for the broker runtime.
+
+A tiny counter/gauge/histogram trio -- enough to instrument the broker
+cluster without dragging in a metrics dependency.  Histograms keep
+power-of-two buckets, which is plenty for latency distributions whose
+interesting questions are "what's the p50/p99 order of magnitude".
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+__all__ = ["Counter", "Gauge", "Histogram", "MetricsRegistry"]
+
+
+@dataclass
+class Counter:
+    """A monotonically increasing count."""
+
+    value: int = 0
+
+    def inc(self, amount: int = 1) -> None:
+        """Add ``amount`` (must be non-negative)."""
+        if amount < 0:
+            raise ValueError("counters only go up")
+        self.value += amount
+
+
+@dataclass
+class Gauge:
+    """A point-in-time value."""
+
+    value: float = 0.0
+
+    def set(self, value: float) -> None:
+        """Replace the current value."""
+        self.value = float(value)
+
+    def add(self, delta: float) -> None:
+        """Adjust the current value."""
+        self.value += delta
+
+
+class Histogram:
+    """Power-of-two bucketed histogram for non-negative samples."""
+
+    def __init__(self, num_buckets: int = 40) -> None:
+        if num_buckets < 2:
+            raise ValueError("need at least two buckets")
+        self._buckets: List[int] = [0] * num_buckets
+        self._count = 0
+        self._sum = 0.0
+        self._max = 0.0
+
+    def observe(self, value: float) -> None:
+        """Record one sample."""
+        if value < 0:
+            raise ValueError("samples must be non-negative")
+        idx = 0 if value < 1 else min(
+            len(self._buckets) - 1, int(math.log2(value)) + 1
+        )
+        self._buckets[idx] += 1
+        self._count += 1
+        self._sum += value
+        self._max = max(self._max, value)
+
+    @property
+    def count(self) -> int:
+        """Number of samples."""
+        return self._count
+
+    @property
+    def mean(self) -> float:
+        """Mean sample, 0 when empty."""
+        return self._sum / self._count if self._count else 0.0
+
+    @property
+    def max(self) -> float:
+        """Largest sample seen."""
+        return self._max
+
+    def quantile(self, q: float) -> float:
+        """Approximate quantile: upper edge of the bucket holding it."""
+        if not 0 <= q <= 1:
+            raise ValueError("quantile must be in [0, 1]")
+        if self._count == 0:
+            return 0.0
+        target = q * self._count
+        seen = 0
+        for idx, bucket in enumerate(self._buckets):
+            seen += bucket
+            if seen >= target and bucket:
+                return float(2**idx)
+        return self._max
+
+
+class MetricsRegistry:
+    """Named metrics for one broker node or the whole cluster."""
+
+    def __init__(self) -> None:
+        self._counters: Dict[str, Counter] = {}
+        self._gauges: Dict[str, Gauge] = {}
+        self._histograms: Dict[str, Histogram] = {}
+
+    def counter(self, name: str) -> Counter:
+        """Get or create a counter."""
+        return self._counters.setdefault(name, Counter())
+
+    def gauge(self, name: str) -> Gauge:
+        """Get or create a gauge."""
+        return self._gauges.setdefault(name, Gauge())
+
+    def histogram(self, name: str) -> Histogram:
+        """Get or create a histogram."""
+        return self._histograms.setdefault(name, Histogram())
+
+    def snapshot(self) -> Dict[str, float]:
+        """Flat name -> value view (histograms expose mean/p99/count)."""
+        out: Dict[str, float] = {}
+        for name, counter in self._counters.items():
+            out[name] = float(counter.value)
+        for name, gauge in self._gauges.items():
+            out[name] = gauge.value
+        for name, hist in self._histograms.items():
+            out[f"{name}.mean"] = hist.mean
+            out[f"{name}.p99"] = hist.quantile(0.99)
+            out[f"{name}.count"] = float(hist.count)
+        return out

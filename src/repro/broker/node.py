@@ -1,0 +1,163 @@
+"""A single broker node: subscription state plus live accounting.
+
+The optimizer's :class:`~repro.core.placement.VirtualMachine` is a
+*plan*: counts and byte rates.  A :class:`BrokerNode` is the *runtime*
+that plan materializes into: it holds the actual subscription table
+(topic -> subscriber set), accepts subscribe/unsubscribe operations,
+dispatches published events to local subscribers, and keeps metrics.
+
+Nodes enforce the same capacity rule the optimizer planned against
+(total byte rate <= BC) so that a sequence of runtime operations can
+never silently grow a node past what its VM can carry.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Optional, Set
+
+from .metrics import MetricsRegistry
+
+__all__ = ["BrokerNode", "NodeOverloadError"]
+
+
+class NodeOverloadError(RuntimeError):
+    """Raised when an operation would push a node past its capacity."""
+
+
+class BrokerNode:
+    """One pub/sub broker VM at runtime."""
+
+    def __init__(
+        self,
+        node_id: int,
+        capacity_bytes_per_period: float,
+        message_bytes: float,
+    ) -> None:
+        if capacity_bytes_per_period <= 0:
+            raise ValueError("capacity must be positive")
+        if message_bytes <= 0:
+            raise ValueError("message size must be positive")
+        self.node_id = node_id
+        self.capacity_bytes = float(capacity_bytes_per_period)
+        self.message_bytes = float(message_bytes)
+        self.metrics = MetricsRegistry()
+        self._subscribers: Dict[int, Set[int]] = {}
+        self._topic_rates: Dict[int, float] = {}
+
+    # ------------------------------------------------------------------
+    # Accounting
+    # ------------------------------------------------------------------
+    @property
+    def topics(self) -> Iterable[int]:
+        """Topics this node ingests."""
+        return self._subscribers.keys()
+
+    def subscribers_of(self, topic: int) -> Set[int]:
+        """Local subscribers of a topic (copy)."""
+        return set(self._subscribers.get(topic, ()))
+
+    def hosts_topic(self, topic: int) -> bool:
+        """Whether the node ingests ``topic``."""
+        return topic in self._subscribers
+
+    @property
+    def num_pairs(self) -> int:
+        """Number of (topic, subscriber) pairs served locally."""
+        return sum(len(s) for s in self._subscribers.values())
+
+    @property
+    def used_bytes(self) -> float:
+        """Planned byte volume for the period: ingest + deliveries."""
+        total_events = 0.0
+        for topic, subs in self._subscribers.items():
+            total_events += self._topic_rates[topic] * (len(subs) + 1)
+        return total_events * self.message_bytes
+
+    @property
+    def free_bytes(self) -> float:
+        """Remaining capacity."""
+        return self.capacity_bytes - self.used_bytes
+
+    @property
+    def utilization(self) -> float:
+        """Fraction of the capacity in use."""
+        return self.used_bytes / self.capacity_bytes
+
+    # ------------------------------------------------------------------
+    # Subscription management
+    # ------------------------------------------------------------------
+    def subscribe(self, topic: int, subscriber: int, topic_rate: float) -> None:
+        """Add a local (topic, subscriber) pair.
+
+        Rejects the operation (raising :class:`NodeOverloadError`)
+        when the implied byte volume would exceed capacity.
+        """
+        if topic_rate <= 0:
+            raise ValueError("topic rate must be positive")
+        known = self._subscribers.get(topic)
+        extra_events = topic_rate * (1 if known is not None else 2)
+        if known is not None and subscriber in known:
+            return  # idempotent
+        if extra_events * self.message_bytes > self.free_bytes + 1e-9:
+            raise NodeOverloadError(
+                f"node {self.node_id}: subscribing ({topic}, {subscriber}) "
+                f"needs {extra_events * self.message_bytes:.0f} B, "
+                f"free {self.free_bytes:.0f} B"
+            )
+        if known is None:
+            self._subscribers[topic] = {subscriber}
+            self._topic_rates[topic] = float(topic_rate)
+        else:
+            known.add(subscriber)
+        self.metrics.counter("subscribes").inc()
+
+    def unsubscribe(self, topic: int, subscriber: int) -> None:
+        """Remove a local pair; drops the topic feed when it empties."""
+        known = self._subscribers.get(topic)
+        if known is None or subscriber not in known:
+            raise KeyError(f"({topic}, {subscriber}) not on node {self.node_id}")
+        known.discard(subscriber)
+        if not known:
+            del self._subscribers[topic]
+            del self._topic_rates[topic]
+        self.metrics.counter("unsubscribes").inc()
+
+    def update_topic_rate(self, topic: int, topic_rate: float) -> None:
+        """Re-price a hosted topic after publisher rate drift.
+
+        Unlike :meth:`subscribe`, this is allowed to push the node past
+        capacity (the publisher does not ask permission); callers check
+        :attr:`utilization` and rebalance.
+        """
+        if topic_rate <= 0:
+            raise ValueError("topic rate must be positive")
+        if topic not in self._subscribers:
+            raise KeyError(f"topic {topic} not on node {self.node_id}")
+        self._topic_rates[topic] = float(topic_rate)
+
+    # ------------------------------------------------------------------
+    # Event dispatch
+    # ------------------------------------------------------------------
+    def dispatch(self, topic: int, count: int = 1) -> int:
+        """Deliver ``count`` published events to the local subscribers.
+
+        Returns the number of notifications sent; meters ingest and
+        egress bytes.
+        """
+        if count <= 0:
+            raise ValueError("count must be positive")
+        subs = self._subscribers.get(topic)
+        if subs is None:
+            return 0  # not hosted here: the router should not have called
+        self.metrics.counter("events_ingested").inc(count)
+        self.metrics.gauge("ingress_bytes").add(count * self.message_bytes)
+        sent = count * len(subs)
+        self.metrics.counter("notifications_sent").inc(sent)
+        self.metrics.gauge("egress_bytes").add(sent * self.message_bytes)
+        return sent
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"BrokerNode(id={self.node_id}, topics={len(self._subscribers)}, "
+            f"pairs={self.num_pairs}, util={self.utilization:.0%})"
+        )

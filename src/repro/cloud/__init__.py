@@ -1,0 +1,13 @@
+"""Simulated IaaS provider: VM lifecycle, metering, invoices."""
+
+from .deployment import CloudDeployment, deploy_and_bill
+from .provider import Invoice, InvoiceLine, SimulatedCloud, VMHandle
+
+__all__ = [
+    "CloudDeployment",
+    "deploy_and_bill",
+    "Invoice",
+    "InvoiceLine",
+    "SimulatedCloud",
+    "VMHandle",
+]

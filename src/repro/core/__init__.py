@@ -1,0 +1,47 @@
+"""Core MCSS model: workload, satisfaction, pairs, placement, problem.
+
+This package is the paper's Section II in executable form.  Everything
+else in the library (selection, packing, bounds, exact solver,
+simulation) is written against these types.
+"""
+
+from .pairs import PairSelection
+from .placement import CapacityError, Placement, VirtualMachine
+from .problem import MCSSProblem, SolutionCost
+from .satisfaction import (
+    all_satisfied,
+    delivered_rate,
+    delivered_rates,
+    is_satisfied,
+    satisfaction_slack,
+    satisfied_mask,
+    subscriber_threshold,
+    subscriber_thresholds,
+    unsatisfied_subscribers,
+)
+from .validation import ValidationReport, validate_placement
+from .workload import Pair, Workload, WorkloadStats, build_workload
+
+__all__ = [
+    "PairSelection",
+    "CapacityError",
+    "Placement",
+    "VirtualMachine",
+    "MCSSProblem",
+    "SolutionCost",
+    "all_satisfied",
+    "delivered_rate",
+    "delivered_rates",
+    "is_satisfied",
+    "satisfaction_slack",
+    "satisfied_mask",
+    "subscriber_threshold",
+    "subscriber_thresholds",
+    "unsatisfied_subscribers",
+    "ValidationReport",
+    "validate_placement",
+    "Pair",
+    "Workload",
+    "WorkloadStats",
+    "build_workload",
+]

@@ -1,0 +1,171 @@
+"""Selected topic-subscriber pair sets (the output of Stage 1).
+
+Stage 1 of the MCSS heuristic chooses a subset ``S`` of topic-subscriber
+pairs sufficient to satisfy every subscriber.  Stage 2 then packs ``S``
+onto VMs.  :class:`PairSelection` is the interchange format between the
+two stages.
+
+The representation is *grouped by topic* (``topic -> array of
+subscribers``) because Stage 2's main optimization -- "grouping of
+pairs by topics" (optimization (b) in Section IV-D) -- needs exactly
+this view, and because it is far more compact than materializing one
+tuple per pair for multi-million-pair workloads.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, Iterator, List, Mapping, Sequence, Tuple
+
+import numpy as np
+
+from .workload import Pair, Workload
+
+__all__ = ["PairSelection"]
+
+
+class PairSelection:
+    """An immutable set of selected ``(t, v)`` pairs, grouped by topic."""
+
+    __slots__ = ("_by_topic", "_num_pairs")
+
+    def __init__(self, by_topic: Mapping[int, Sequence[int]]) -> None:
+        grouped: Dict[int, np.ndarray] = {}
+        total = 0
+        for t, subs in by_topic.items():
+            arr = np.asarray(subs, dtype=np.int64)
+            if arr.size == 0:
+                continue
+            if np.unique(arr).size != arr.size:
+                raise ValueError(f"duplicate subscribers for topic {t}")
+            arr.setflags(write=False)
+            grouped[int(t)] = arr
+            total += int(arr.size)
+        self._by_topic = grouped
+        self._num_pairs = total
+
+    # ------------------------------------------------------------------
+    # Construction helpers
+    # ------------------------------------------------------------------
+    @classmethod
+    def from_pairs(cls, pairs: Iterable[Pair]) -> "PairSelection":
+        """Build from an iterable of ``(t, v)`` tuples."""
+        buckets: Dict[int, List[int]] = {}
+        for t, v in pairs:
+            buckets.setdefault(int(t), []).append(int(v))
+        return cls(buckets)
+
+    @classmethod
+    def from_subscriber_topics(
+        cls, topics_by_subscriber: Mapping[int, Iterable[int]]
+    ) -> "PairSelection":
+        """Build from a ``subscriber -> topics`` mapping."""
+        buckets: Dict[int, List[int]] = {}
+        for v, topics in topics_by_subscriber.items():
+            for t in topics:
+                buckets.setdefault(int(t), []).append(int(v))
+        return cls(buckets)
+
+    @classmethod
+    def full(cls, workload: Workload) -> "PairSelection":
+        """The selection containing *every* pair of the workload."""
+        return cls(
+            {t: workload.subscribers_of(t) for t in range(workload.num_topics)}
+        )
+
+    # ------------------------------------------------------------------
+    # Views
+    # ------------------------------------------------------------------
+    @property
+    def num_pairs(self) -> int:
+        """Total number of selected pairs ``|S|``."""
+        return self._num_pairs
+
+    @property
+    def num_topics(self) -> int:
+        """Number of distinct topics that appear in the selection."""
+        return len(self._by_topic)
+
+    @property
+    def topics(self) -> Tuple[int, ...]:
+        """The distinct topics of the selection, in insertion order."""
+        return tuple(self._by_topic)
+
+    def subscribers_of(self, topic: int) -> np.ndarray:
+        """Selected subscribers of a topic (empty array if none)."""
+        arr = self._by_topic.get(int(topic))
+        if arr is None:
+            return np.empty(0, dtype=np.int64)
+        return arr
+
+    def pair_count(self, topic: int) -> int:
+        """Number of selected pairs for a topic."""
+        return int(self.subscribers_of(topic).size)
+
+    def __contains__(self, pair: Pair) -> bool:
+        t, v = pair
+        return bool(np.isin(v, self.subscribers_of(t)).item())
+
+    def __iter__(self) -> Iterator[Pair]:
+        for t, subs in self._by_topic.items():
+            for v in subs.tolist():
+                yield (t, v)
+
+    def __len__(self) -> int:
+        return self._num_pairs
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, PairSelection):
+            return NotImplemented
+        if set(self._by_topic) != set(other._by_topic):
+            return False
+        return all(
+            np.array_equal(np.sort(self._by_topic[t]), np.sort(other._by_topic[t]))
+            for t in self._by_topic
+        )
+
+    def __hash__(self) -> int:  # pragma: no cover - rarely used
+        return hash(
+            tuple(sorted((t, tuple(sorted(s.tolist()))) for t, s in self._by_topic.items()))
+        )
+
+    def topics_by_subscriber(self) -> Dict[int, List[int]]:
+        """Invert the selection into ``subscriber -> topics``."""
+        out: Dict[int, List[int]] = {}
+        for t, subs in self._by_topic.items():
+            for v in subs.tolist():
+                out.setdefault(v, []).append(t)
+        return out
+
+    # ------------------------------------------------------------------
+    # Bandwidth accounting (single hypothetical VM, Stage-1 objective)
+    # ------------------------------------------------------------------
+    def outgoing_rate(self, workload: Workload) -> float:
+        """Sum of ``ev_t`` over all selected pairs (events per unit)."""
+        rates = workload.event_rates
+        return float(
+            sum(rates[t] * subs.size for t, subs in self._by_topic.items())
+        )
+
+    def incoming_rate(self, workload: Workload) -> float:
+        """Sum of ``ev_t`` over the distinct selected topics."""
+        rates = workload.event_rates
+        return float(sum(rates[t] for t in self._by_topic))
+
+    def single_vm_rate(self, workload: Workload) -> float:
+        """Total event rate if the whole selection sat on one huge VM.
+
+        This is the quantity Stage 1 minimizes: each pair costs its
+        outgoing rate, and each distinct topic additionally costs one
+        incoming copy (Section III-A prices a pair at ``2 * ev_t``
+        because in the single-VM view every pair's topic is ingested
+        exactly once; with topic sharing the true single-VM total is
+        ``outgoing + incoming``).
+        """
+        return self.outgoing_rate(workload) + self.incoming_rate(workload)
+
+    def single_vm_bytes(self, workload: Workload) -> float:
+        """:meth:`single_vm_rate` converted to bytes per time unit."""
+        return self.single_vm_rate(workload) * workload.message_size_bytes
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"PairSelection(pairs={self._num_pairs}, topics={self.num_topics})"

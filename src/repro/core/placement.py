@@ -1,0 +1,262 @@
+"""VM placement model and per-VM bandwidth accounting (Equation (2)).
+
+A :class:`Placement` is the output of Stage 2: an assignment of the
+selected topic-subscriber pairs to a fleet of VMs ``B``.  For a VM
+``b`` the paper defines
+
+    bw_b = sum_{(t,v) assigned to b} ev_t        (outgoing)
+         + sum_{t hosted on b} ev_t              (incoming, once per VM)
+
+i.e. each pair costs one outgoing copy of the topic's event stream and
+each *distinct* topic hosted on a VM costs one incoming copy.  Spreading
+the pairs of one topic over ``k`` VMs therefore wastes ``(k-1) * ev_t``
+of incoming bandwidth -- the effect Stage 2's optimizations fight.
+
+All bandwidth quantities on this class are kept in **bytes per time
+unit** (event rate x message size) so the capacity constraint ``bw_b <=
+BC`` can be checked directly against the byte-denominated VM capacity
+of the pricing catalog.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Iterable, Iterator, List, Mapping, Optional, Sequence, Tuple
+
+import numpy as np
+
+from .pairs import PairSelection
+from .workload import Pair, Workload
+
+__all__ = ["VirtualMachine", "Placement", "CapacityError"]
+
+
+class CapacityError(ValueError):
+    """Raised when an assignment would exceed a VM's bandwidth capacity."""
+
+
+class VirtualMachine:
+    """A single VM holding topic-subscriber pairs.
+
+    Tracks, incrementally:
+
+    * ``pair_counts``: ``topic -> number of pairs of that topic on
+      this VM`` (subscriber identities are tracked by the owning
+      :class:`Placement`);
+    * the outgoing/incoming byte rates implied by those counts.
+    """
+
+    __slots__ = ("capacity_bytes", "_pair_counts", "_out_bytes", "_in_bytes")
+
+    def __init__(self, capacity_bytes: float) -> None:
+        if capacity_bytes <= 0:
+            raise ValueError("VM capacity must be positive")
+        self.capacity_bytes = float(capacity_bytes)
+        self._pair_counts: Dict[int, int] = {}
+        self._out_bytes = 0.0
+        self._in_bytes = 0.0
+
+    # -- accounting ----------------------------------------------------
+    @property
+    def outgoing_bytes(self) -> float:
+        """Outgoing byte rate (one copy per assigned pair)."""
+        return self._out_bytes
+
+    @property
+    def incoming_bytes(self) -> float:
+        """Incoming byte rate (one copy per distinct hosted topic)."""
+        return self._in_bytes
+
+    @property
+    def used_bytes(self) -> float:
+        """``bw_b`` -- total (incoming + outgoing) byte rate."""
+        return self._out_bytes + self._in_bytes
+
+    @property
+    def free_bytes(self) -> float:
+        """Remaining capacity ``BC - bw_b``."""
+        return self.capacity_bytes - self.used_bytes
+
+    @property
+    def topics(self) -> Iterable[int]:
+        """Distinct topics hosted on this VM."""
+        return self._pair_counts.keys()
+
+    @property
+    def num_pairs(self) -> int:
+        """Number of pairs assigned to this VM."""
+        return sum(self._pair_counts.values())
+
+    def pair_count(self, topic: int) -> int:
+        """Number of pairs of ``topic`` on this VM."""
+        return self._pair_counts.get(topic, 0)
+
+    def hosts_topic(self, topic: int) -> bool:
+        """Whether the topic's event stream is ingested by this VM."""
+        return topic in self._pair_counts
+
+    # -- mutation ------------------------------------------------------
+    def addition_cost_bytes(self, topic_bytes: float, count: int, new_topic: bool) -> float:
+        """Byte-rate delta of adding ``count`` pairs of a topic.
+
+        ``topic_bytes`` is ``ev_t * message_size``; ``new_topic`` says
+        whether this VM would start ingesting the topic (one extra
+        incoming copy).
+        """
+        return topic_bytes * (count + (1 if new_topic else 0))
+
+    def fits(self, topic_bytes: float, count: int, new_topic: bool) -> bool:
+        """Whether ``count`` pairs of a topic fit in the free capacity."""
+        return self.addition_cost_bytes(topic_bytes, count, new_topic) <= self.free_bytes + 1e-9
+
+    def max_new_pairs(self, topic_bytes: float, already_hosted: bool) -> int:
+        """Largest number of pairs of a topic this VM can still accept.
+
+        Accounts for the one-off incoming copy if the topic is not yet
+        hosted here.  Returns 0 when not even a single pair fits.
+        """
+        free = self.free_bytes + 1e-9
+        if not already_hosted:
+            free -= topic_bytes
+        if free < topic_bytes:
+            return 0
+        return int(free // topic_bytes)
+
+    def add_pairs(self, topic: int, topic_bytes: float, count: int) -> None:
+        """Assign ``count`` pairs of ``topic`` to this VM.
+
+        Raises :class:`CapacityError` if the capacity would be exceeded;
+        callers are expected to check :meth:`fits` first.
+        """
+        if count <= 0:
+            raise ValueError("count must be positive")
+        new_topic = topic not in self._pair_counts
+        delta = self.addition_cost_bytes(topic_bytes, count, new_topic)
+        if delta > self.free_bytes + 1e-9:
+            raise CapacityError(
+                f"adding {count} pairs of topic {topic} needs {delta:.1f} B "
+                f"but only {self.free_bytes:.1f} B free"
+            )
+        self._pair_counts[topic] = self._pair_counts.get(topic, 0) + count
+        self._out_bytes += topic_bytes * count
+        if new_topic:
+            self._in_bytes += topic_bytes
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"VirtualMachine(used={self.used_bytes:.0f}/"
+            f"{self.capacity_bytes:.0f} B, topics={len(self._pair_counts)}, "
+            f"pairs={self.num_pairs})"
+        )
+
+
+class Placement:
+    """A complete assignment of selected pairs to a VM fleet.
+
+    Stage-2 algorithms build a placement incrementally through
+    :meth:`assign` / :meth:`new_vm`; analysis code reads the aggregate
+    properties.  Subscriber identities per (vm, topic) are retained so
+    the placement can be audited (satisfaction, duplicate-assignment)
+    and replayed by the deployment simulator.
+    """
+
+    def __init__(self, workload: Workload, capacity_bytes: float) -> None:
+        if capacity_bytes <= 0:
+            raise ValueError("VM capacity must be positive")
+        self.workload = workload
+        self.capacity_bytes = float(capacity_bytes)
+        self._vms: List[VirtualMachine] = []
+        # (vm index, topic) -> list of subscriber ids
+        self._members: Dict[Tuple[int, int], List[int]] = {}
+
+    # -- construction ----------------------------------------------------
+    def new_vm(self) -> int:
+        """Deploy a new empty VM; returns its index."""
+        self._vms.append(VirtualMachine(self.capacity_bytes))
+        return len(self._vms) - 1
+
+    def assign(self, vm_index: int, topic: int, subscribers: Sequence[int]) -> None:
+        """Assign pairs ``(topic, v) for v in subscribers`` to a VM."""
+        subs = [int(v) for v in subscribers]
+        if not subs:
+            return
+        topic_bytes = self.topic_bytes(topic)
+        self._vms[vm_index].add_pairs(topic, topic_bytes, len(subs))
+        self._members.setdefault((vm_index, topic), []).extend(subs)
+
+    def topic_bytes(self, topic: int) -> float:
+        """Byte rate of one copy of a topic's event stream."""
+        return self.workload.event_rate(topic) * self.workload.message_size_bytes
+
+    # -- views -----------------------------------------------------------
+    @property
+    def vms(self) -> Sequence[VirtualMachine]:
+        """The VM fleet ``B`` (read-only view)."""
+        return tuple(self._vms)
+
+    @property
+    def num_vms(self) -> int:
+        """``|B|``."""
+        return len(self._vms)
+
+    @property
+    def total_bytes(self) -> float:
+        """``sum(bw_b)`` in bytes per time unit."""
+        return sum(vm.used_bytes for vm in self._vms)
+
+    @property
+    def total_outgoing_bytes(self) -> float:
+        """Aggregate outgoing byte rate over the fleet."""
+        return sum(vm.outgoing_bytes for vm in self._vms)
+
+    @property
+    def total_incoming_bytes(self) -> float:
+        """Aggregate incoming byte rate over the fleet."""
+        return sum(vm.incoming_bytes for vm in self._vms)
+
+    @property
+    def num_pairs(self) -> int:
+        """Total number of assigned pairs."""
+        return sum(vm.num_pairs for vm in self._vms)
+
+    def members(self, vm_index: int, topic: int) -> List[int]:
+        """Subscribers of ``topic`` served from VM ``vm_index``."""
+        return list(self._members.get((vm_index, topic), ()))
+
+    def vm_topics(self, vm_index: int) -> List[int]:
+        """Distinct topics hosted on a VM."""
+        return list(self._vms[vm_index].topics)
+
+    def topic_replicas(self, topic: int) -> int:
+        """Number of VMs ingesting ``topic`` (replication degree)."""
+        return sum(1 for vm in self._vms if vm.hosts_topic(topic))
+
+    def iter_assignments(self) -> Iterator[Tuple[int, int, List[int]]]:
+        """Yield ``(vm_index, topic, subscribers)`` triples."""
+        for (b, t), subs in self._members.items():
+            yield b, t, list(subs)
+
+    def topics_by_subscriber(self) -> Dict[int, List[int]]:
+        """``subscriber -> distinct topics delivered`` over the fleet.
+
+        A pair assigned to several VMs (allowed by Equation (3)'s
+        ``max_b``) counts once.
+        """
+        seen: Dict[int, set] = {}
+        for (_, t), subs in self._members.items():
+            for v in subs:
+                seen.setdefault(v, set()).add(t)
+        return {v: sorted(topics) for v, topics in seen.items()}
+
+    def to_selection(self) -> PairSelection:
+        """Collapse the placement back into the distinct pair set."""
+        by_topic: Dict[int, set] = {}
+        for (_, t), subs in self._members.items():
+            by_topic.setdefault(t, set()).update(subs)
+        return PairSelection({t: sorted(s) for t, s in by_topic.items()})
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"Placement(vms={self.num_vms}, pairs={self.num_pairs}, "
+            f"bytes={self.total_bytes:.0f})"
+        )

@@ -1,0 +1,153 @@
+"""Subscriber satisfaction thresholds and checks (Section II-B).
+
+The paper's satisfaction model: a subscriber ``v`` is *satisfied* when
+the cumulative event rate of the topics delivered to it reaches the
+subscriber-specific threshold
+
+    tau_v = min(tau, sum(ev_t for t in Tv))
+
+where ``tau`` is the system-wide satisfaction threshold.  Delivering
+more than ``tau_v`` brings no extra benefit (the subscriber is a human
+reader), which is exactly the slack the MCSS optimization exploits.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Mapping, Sequence, Set, Tuple
+
+import numpy as np
+
+from .workload import Pair, Workload
+
+__all__ = [
+    "subscriber_threshold",
+    "subscriber_thresholds",
+    "delivered_rate",
+    "delivered_rates",
+    "is_satisfied",
+    "satisfied_mask",
+    "all_satisfied",
+    "unsatisfied_subscribers",
+    "satisfaction_slack",
+]
+
+
+def subscriber_threshold(workload: Workload, subscriber: int, tau: float) -> float:
+    """Return ``tau_v = min(tau, sum(ev_t for t in Tv))`` for one subscriber."""
+    if tau < 0:
+        raise ValueError("tau must be non-negative")
+    return min(float(tau), workload.interest_rate_sum(subscriber))
+
+
+def subscriber_thresholds(workload: Workload, tau: float) -> np.ndarray:
+    """Vector of ``tau_v`` for every subscriber."""
+    if tau < 0:
+        raise ValueError("tau must be non-negative")
+    return np.minimum(float(tau), workload.interest_rate_sums())
+
+
+def delivered_rate(
+    workload: Workload, subscriber: int, delivered_topics: Iterable[int]
+) -> float:
+    """Total event rate a subscriber receives from ``delivered_topics``.
+
+    Topics outside the subscriber's interest are ignored: a broker may
+    host extra topics, but only topics in ``Tv`` count towards the
+    satisfaction of ``v`` (Equation (3) only sums over ``t in Tv``).
+    """
+    interest = set(workload.interest(subscriber).tolist())
+    rates = workload.event_rates
+    seen: Set[int] = set()
+    total = 0.0
+    for t in delivered_topics:
+        if t in interest and t not in seen:
+            seen.add(t)
+            total += float(rates[t])
+    return total
+
+
+def delivered_rates(
+    workload: Workload, pairs_by_subscriber: Mapping[int, Iterable[int]]
+) -> np.ndarray:
+    """Vector of delivered rates given a per-subscriber topic mapping."""
+    out = np.zeros(workload.num_subscribers, dtype=np.float64)
+    for v, topics in pairs_by_subscriber.items():
+        out[v] = delivered_rate(workload, v, topics)
+    return out
+
+
+def is_satisfied(
+    workload: Workload,
+    subscriber: int,
+    delivered_topics: Iterable[int],
+    tau: float,
+    *,
+    rel_tol: float = 1e-9,
+) -> bool:
+    """Check Equation (3) for a single subscriber.
+
+    A small relative tolerance absorbs floating-point accumulation
+    error; the threshold comparison in the paper is exact because the
+    original implementation used integer event counts.
+    """
+    threshold = subscriber_threshold(workload, subscriber, tau)
+    got = delivered_rate(workload, subscriber, delivered_topics)
+    return got >= threshold * (1.0 - rel_tol)
+
+
+def satisfied_mask(
+    workload: Workload,
+    topics_by_subscriber: Mapping[int, Iterable[int]],
+    tau: float,
+    *,
+    rel_tol: float = 1e-9,
+) -> np.ndarray:
+    """Boolean vector ``f_v`` over all subscribers (Equation (3))."""
+    thresholds = subscriber_thresholds(workload, tau)
+    got = np.zeros(workload.num_subscribers, dtype=np.float64)
+    for v, topics in topics_by_subscriber.items():
+        got[v] = delivered_rate(workload, v, topics)
+    return got >= thresholds * (1.0 - rel_tol)
+
+
+def all_satisfied(
+    workload: Workload,
+    topics_by_subscriber: Mapping[int, Iterable[int]],
+    tau: float,
+    *,
+    rel_tol: float = 1e-9,
+) -> bool:
+    """Check the constraint ``sum(f_v) == |V|`` from Equation (2)."""
+    return bool(
+        satisfied_mask(workload, topics_by_subscriber, tau, rel_tol=rel_tol).all()
+    )
+
+
+def unsatisfied_subscribers(
+    workload: Workload,
+    topics_by_subscriber: Mapping[int, Iterable[int]],
+    tau: float,
+    *,
+    rel_tol: float = 1e-9,
+) -> List[int]:
+    """Return the ids of unsatisfied subscribers (useful in error messages)."""
+    mask = satisfied_mask(workload, topics_by_subscriber, tau, rel_tol=rel_tol)
+    return [int(v) for v in np.flatnonzero(~mask)]
+
+
+def satisfaction_slack(
+    workload: Workload,
+    topics_by_subscriber: Mapping[int, Iterable[int]],
+    tau: float,
+) -> np.ndarray:
+    """Per-subscriber slack ``delivered - tau_v`` (negative = unsatisfied).
+
+    The aggregate positive slack measures how much bandwidth a selection
+    "wastes" beyond the satisfaction requirement; Stage 1's greedy
+    heuristic tries to keep this small.
+    """
+    thresholds = subscriber_thresholds(workload, tau)
+    got = np.zeros(workload.num_subscribers, dtype=np.float64)
+    for v, topics in topics_by_subscriber.items():
+        got[v] = delivered_rate(workload, v, topics)
+    return got - thresholds

@@ -1,0 +1,122 @@
+"""Independent validation of candidate MCSS solutions.
+
+Every solver in this library is audited by the same referee: given a
+:class:`~repro.core.problem.MCSSProblem` and a
+:class:`~repro.core.placement.Placement`, :func:`validate_placement`
+re-derives from first principles that
+
+1. no VM exceeds its bandwidth capacity ``BC`` (Equation (2)), and
+2. every subscriber is satisfied (Equation (3)), and
+3. the placement's incremental bandwidth bookkeeping matches a from-
+   scratch recomputation (guards against accounting bugs in solvers).
+
+The validator is deliberately written in the most direct style possible
+-- no shared code with the solvers -- so that a bug in a solver cannot
+hide inside the referee.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Set, Tuple
+
+from .placement import Placement
+from .problem import MCSSProblem
+
+__all__ = ["ValidationReport", "validate_placement"]
+
+_REL_TOL = 1e-9
+_ABS_TOL = 1e-6
+
+
+@dataclass
+class ValidationReport:
+    """Outcome of auditing a placement against an MCSS instance."""
+
+    capacity_ok: bool
+    satisfaction_ok: bool
+    accounting_ok: bool
+    overloaded_vms: List[int] = field(default_factory=list)
+    unsatisfied_subscribers: List[int] = field(default_factory=list)
+    messages: List[str] = field(default_factory=list)
+
+    @property
+    def ok(self) -> bool:
+        """Whether the placement is a feasible MCSS solution."""
+        return self.capacity_ok and self.satisfaction_ok and self.accounting_ok
+
+    def raise_if_invalid(self) -> None:
+        """Raise ``ValueError`` with a readable summary if not ok."""
+        if not self.ok:
+            raise ValueError("invalid placement: " + "; ".join(self.messages))
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        if self.ok:
+            return "ValidationReport(ok)"
+        return "ValidationReport(FAILED: " + "; ".join(self.messages) + ")"
+
+
+def validate_placement(problem: MCSSProblem, placement: Placement) -> ValidationReport:
+    """Audit a placement; see the module docstring for the checks."""
+    workload = problem.workload
+    msg_bytes = workload.message_size_bytes
+    rates = workload.event_rates
+    capacity = problem.capacity_bytes
+
+    # Recompute per-VM bandwidth from the raw assignment lists.
+    pair_counts: Dict[int, Dict[int, int]] = {}
+    delivered: Dict[int, Set[int]] = {}
+    duplicate_msgs: List[str] = []
+    for b, t, subs in placement.iter_assignments():
+        per_vm = pair_counts.setdefault(b, {})
+        per_vm[t] = per_vm.get(t, 0) + len(subs)
+        if len(set(subs)) != len(subs):
+            duplicate_msgs.append(f"VM {b} lists duplicate subscribers for topic {t}")
+        for v in subs:
+            delivered.setdefault(v, set()).add(t)
+
+    overloaded: List[int] = []
+    accounting_ok = not duplicate_msgs
+    messages: List[str] = list(duplicate_msgs)
+    for b in range(placement.num_vms):
+        per_vm = pair_counts.get(b, {})
+        out_bytes = sum(rates[t] * c for t, c in per_vm.items()) * msg_bytes
+        in_bytes = sum(rates[t] for t in per_vm) * msg_bytes
+        used = out_bytes + in_bytes
+        if used > capacity * (1.0 + _REL_TOL) + _ABS_TOL:
+            overloaded.append(b)
+            messages.append(
+                f"VM {b} uses {used:.1f} B of {capacity:.1f} B capacity"
+            )
+        recorded = placement.vms[b].used_bytes
+        if abs(recorded - used) > max(_ABS_TOL, _REL_TOL * max(recorded, used)):
+            accounting_ok = False
+            messages.append(
+                f"VM {b} bookkeeping says {recorded:.3f} B but recomputation "
+                f"says {used:.3f} B"
+            )
+
+    # Satisfaction: Equation (3), a pair counts if assigned to >= 1 VM.
+    unsatisfied: List[int] = []
+    for v in range(workload.num_subscribers):
+        interest = workload.interest(v)
+        if interest.size == 0:
+            continue  # tau_v == 0: trivially satisfied
+        tau_v = min(problem.tau, float(rates[interest].sum()))
+        got_topics = delivered.get(v, set())
+        got = sum(float(rates[t]) for t in got_topics if t in set(interest.tolist()))
+        if got < tau_v * (1.0 - _REL_TOL):
+            unsatisfied.append(v)
+    if unsatisfied:
+        shown = ", ".join(str(v) for v in unsatisfied[:10])
+        more = "" if len(unsatisfied) <= 10 else f" (+{len(unsatisfied) - 10} more)"
+        messages.append(f"unsatisfied subscribers: {shown}{more}")
+
+    return ValidationReport(
+        capacity_ok=not overloaded,
+        satisfaction_ok=not unsatisfied,
+        accounting_ok=accounting_ok,
+        overloaded_vms=overloaded,
+        unsatisfied_subscribers=unsatisfied,
+        messages=messages,
+    )

@@ -1,0 +1,374 @@
+"""Pub/sub workload model.
+
+This module implements the notation of Section II-B of the paper:
+
+* ``T`` -- a collection of *l* topics.  Topics are identified by the
+  integers ``0 .. l-1``.
+* ``V`` -- a collection of *n* subscribers, identified by ``0 .. n-1``.
+* ``Tv`` -- the *interest* of subscriber ``v``: the topics ``v``
+  subscribes to.
+* ``ev_t`` -- the event rate of topic ``t`` (events per time unit).
+* ``Vt`` -- the subscribers of topic ``t`` (derived from the interests).
+
+A :class:`Workload` is immutable once constructed.  All derived
+quantities (reverse index, per-subscriber rate sums, pair counts) are
+computed lazily and cached, because the experiment harness frequently
+builds large workloads and only touches some of the derived views.
+
+Units
+-----
+Event rates are "events per time unit"; the time unit itself is opaque
+to the core model.  Bandwidth-related quantities are obtained by
+multiplying event rates with :attr:`Workload.message_size_bytes`, which
+yields "bytes per time unit".  The pricing layer
+(:mod:`repro.pricing`) is the only place that attaches wall-clock
+meaning (e.g. a 10-day trace period) to the time unit.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, Iterator, List, Mapping, Optional, Sequence, Tuple
+
+import numpy as np
+
+__all__ = ["Pair", "Workload", "WorkloadStats", "build_workload"]
+
+
+Pair = Tuple[int, int]
+"""A topic-subscriber pair ``(t, v)`` -- the allocation granularity of MCSS."""
+
+
+class WorkloadError(ValueError):
+    """Raised when a workload is malformed (bad ids, negative rates...)."""
+
+
+@dataclass(frozen=True)
+class WorkloadStats:
+    """Aggregate statistics of a workload, as reported in Section IV-B."""
+
+    num_topics: int
+    num_subscribers: int
+    num_pairs: int
+    total_event_rate: float
+    mean_interest_size: float
+    max_interest_size: int
+    mean_audience_size: float
+    max_audience_size: int
+    message_size_bytes: float
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"WorkloadStats(topics={self.num_topics}, "
+            f"subscribers={self.num_subscribers}, pairs={self.num_pairs}, "
+            f"total_rate={self.total_event_rate:.1f}, "
+            f"mean_interest={self.mean_interest_size:.2f}, "
+            f"mean_audience={self.mean_audience_size:.2f})"
+        )
+
+
+class Workload:
+    """An immutable pub/sub workload ``(T, V, ev, Int)``.
+
+    Parameters
+    ----------
+    event_rates:
+        Array of length ``l`` with the event rate ``ev_t > 0`` of every
+        topic (events per time unit).
+    interests:
+        One integer array per subscriber listing the topics the
+        subscriber follows (``Tv``).  Subscribers with empty interests
+        are permitted: they are trivially satisfied (``tau_v == 0``).
+    message_size_bytes:
+        Mean size of one event message.  The paper uses 200 bytes for
+        both the Twitter and the Spotify experiments (Section IV-A).
+    topic_labels / subscriber_labels:
+        Optional human-readable names, purely cosmetic.
+    """
+
+    __slots__ = (
+        "_event_rates",
+        "_interests",
+        "_message_size_bytes",
+        "_topic_labels",
+        "_subscriber_labels",
+        "_subscribers_of",
+        "_interest_rate_sums",
+        "_num_pairs",
+    )
+
+    def __init__(
+        self,
+        event_rates: Sequence[float],
+        interests: Sequence[Sequence[int]],
+        message_size_bytes: float = 200.0,
+        topic_labels: Optional[Sequence[str]] = None,
+        subscriber_labels: Optional[Sequence[str]] = None,
+    ) -> None:
+        rates = np.asarray(event_rates, dtype=np.float64)
+        if rates.ndim != 1:
+            raise WorkloadError("event_rates must be one-dimensional")
+        if rates.size and rates.min() <= 0:
+            raise WorkloadError(
+                "event rates must be strictly positive (paper assumes ev_t > 0)"
+            )
+        if message_size_bytes <= 0:
+            raise WorkloadError("message_size_bytes must be positive")
+        rates.setflags(write=False)
+        object.__setattr__(self, "_event_rates", rates)
+
+        num_topics = rates.size
+        frozen: List[np.ndarray] = []
+        for v, topics in enumerate(interests):
+            arr = np.asarray(topics, dtype=np.int64)
+            if arr.size:
+                if arr.min() < 0 or arr.max() >= num_topics:
+                    raise WorkloadError(
+                        f"subscriber {v} references a topic id outside "
+                        f"[0, {num_topics})"
+                    )
+                if np.unique(arr).size != arr.size:
+                    raise WorkloadError(
+                        f"subscriber {v} has duplicate topics in its interest"
+                    )
+            arr.setflags(write=False)
+            frozen.append(arr)
+        object.__setattr__(self, "_interests", tuple(frozen))
+        object.__setattr__(self, "_message_size_bytes", float(message_size_bytes))
+
+        if topic_labels is not None and len(topic_labels) != num_topics:
+            raise WorkloadError("topic_labels length mismatch")
+        if subscriber_labels is not None and len(subscriber_labels) != len(frozen):
+            raise WorkloadError("subscriber_labels length mismatch")
+        object.__setattr__(
+            self, "_topic_labels", tuple(topic_labels) if topic_labels else None
+        )
+        object.__setattr__(
+            self,
+            "_subscriber_labels",
+            tuple(subscriber_labels) if subscriber_labels else None,
+        )
+        # Lazy caches.
+        object.__setattr__(self, "_subscribers_of", None)
+        object.__setattr__(self, "_interest_rate_sums", None)
+        object.__setattr__(self, "_num_pairs", None)
+
+    # ------------------------------------------------------------------
+    # Basic accessors
+    # ------------------------------------------------------------------
+    def __setattr__(self, name: str, value: object) -> None:
+        raise AttributeError("Workload is immutable")
+
+    @property
+    def num_topics(self) -> int:
+        """``l`` -- the number of topics."""
+        return int(self._event_rates.size)
+
+    @property
+    def num_subscribers(self) -> int:
+        """``n`` -- the number of subscribers."""
+        return len(self._interests)
+
+    @property
+    def event_rates(self) -> np.ndarray:
+        """Read-only array of per-topic event rates ``ev_t``."""
+        return self._event_rates
+
+    @property
+    def message_size_bytes(self) -> float:
+        """Mean size of a single event message in bytes."""
+        return self._message_size_bytes
+
+    def event_rate(self, topic: int) -> float:
+        """Return ``ev_t`` for a single topic."""
+        return float(self._event_rates[topic])
+
+    def interest(self, subscriber: int) -> np.ndarray:
+        """Return ``Tv``: the topics subscribed to by ``subscriber``."""
+        return self._interests[subscriber]
+
+    @property
+    def interests(self) -> Tuple[np.ndarray, ...]:
+        """All interests (``Int`` in the paper's notation)."""
+        return self._interests
+
+    def topic_label(self, topic: int) -> str:
+        """Human-readable name of a topic (falls back to ``t<idx>``)."""
+        if self._topic_labels is not None:
+            return self._topic_labels[topic]
+        return f"t{topic}"
+
+    def subscriber_label(self, subscriber: int) -> str:
+        """Human-readable name of a subscriber (falls back to ``v<idx>``)."""
+        if self._subscriber_labels is not None:
+            return self._subscriber_labels[subscriber]
+        return f"v{subscriber}"
+
+    # ------------------------------------------------------------------
+    # Derived (cached) views
+    # ------------------------------------------------------------------
+    def subscribers_of(self, topic: int) -> np.ndarray:
+        """Return ``Vt``: the subscribers of ``topic``.
+
+        Built lazily for the whole workload on first use (a single
+        O(pairs) pass), then served from the cache.
+        """
+        return self._audience_index()[topic]
+
+    def _audience_index(self) -> Tuple[np.ndarray, ...]:
+        cached = self._subscribers_of
+        if cached is None:
+            buckets: List[List[int]] = [[] for _ in range(self.num_topics)]
+            for v, topics in enumerate(self._interests):
+                for t in topics.tolist():
+                    buckets[t].append(v)
+            arrays = []
+            for bucket in buckets:
+                arr = np.asarray(bucket, dtype=np.int64)
+                arr.setflags(write=False)
+                arrays.append(arr)
+            cached = tuple(arrays)
+            object.__setattr__(self, "_subscribers_of", cached)
+        return cached
+
+    def audience_sizes(self) -> np.ndarray:
+        """Number of subscribers per topic (``|Vt|`` for every topic)."""
+        index = self._audience_index()
+        return np.asarray([arr.size for arr in index], dtype=np.int64)
+
+    def interest_rate_sum(self, subscriber: int) -> float:
+        """Return ``sum(ev_t for t in Tv)`` for a subscriber.
+
+        This is the maximum event rate the subscriber could ever
+        receive, and caps the satisfaction threshold ``tau_v``.
+        """
+        return float(self._rate_sums()[subscriber])
+
+    def _rate_sums(self) -> np.ndarray:
+        cached = self._interest_rate_sums
+        if cached is None:
+            rates = self._event_rates
+            sums = np.asarray(
+                [rates[topics].sum() if topics.size else 0.0 for topics in self._interests],
+                dtype=np.float64,
+            )
+            sums.setflags(write=False)
+            cached = sums
+            object.__setattr__(self, "_interest_rate_sums", cached)
+        return cached
+
+    def interest_rate_sums(self) -> np.ndarray:
+        """Vector of ``sum(ev_t for t in Tv)`` for all subscribers."""
+        return self._rate_sums()
+
+    @property
+    def num_pairs(self) -> int:
+        """Total number of topic-subscriber pairs in the workload."""
+        cached = self._num_pairs
+        if cached is None:
+            cached = int(sum(topics.size for topics in self._interests))
+            object.__setattr__(self, "_num_pairs", cached)
+        return cached
+
+    def iter_pairs(self) -> Iterator[Pair]:
+        """Iterate over every ``(t, v)`` pair of the workload."""
+        for v, topics in enumerate(self._interests):
+            for t in topics.tolist():
+                yield (t, v)
+
+    def stats(self) -> WorkloadStats:
+        """Compute aggregate statistics for reporting."""
+        interest_sizes = np.asarray(
+            [topics.size for topics in self._interests], dtype=np.int64
+        )
+        audience = self.audience_sizes()
+        return WorkloadStats(
+            num_topics=self.num_topics,
+            num_subscribers=self.num_subscribers,
+            num_pairs=self.num_pairs,
+            total_event_rate=float(self._event_rates.sum()),
+            mean_interest_size=float(interest_sizes.mean()) if interest_sizes.size else 0.0,
+            max_interest_size=int(interest_sizes.max()) if interest_sizes.size else 0,
+            mean_audience_size=float(audience.mean()) if audience.size else 0.0,
+            max_audience_size=int(audience.max()) if audience.size else 0,
+            message_size_bytes=self._message_size_bytes,
+        )
+
+    # ------------------------------------------------------------------
+    # Convenience transforms
+    # ------------------------------------------------------------------
+    def restrict_subscribers(self, subscribers: Iterable[int]) -> "Workload":
+        """Return a sub-workload containing only the given subscribers.
+
+        Topic ids are preserved; topics that lose their entire audience
+        simply keep a zero audience.  Useful for sampling experiments.
+        """
+        keep = sorted(set(int(v) for v in subscribers))
+        interests = [self._interests[v] for v in keep]
+        labels = (
+            [self._subscriber_labels[v] for v in keep]
+            if self._subscriber_labels is not None
+            else None
+        )
+        return Workload(
+            self._event_rates,
+            interests,
+            message_size_bytes=self._message_size_bytes,
+            topic_labels=self._topic_labels,
+            subscriber_labels=labels,
+        )
+
+    def with_message_size(self, message_size_bytes: float) -> "Workload":
+        """Return a copy of the workload with a different message size."""
+        return Workload(
+            self._event_rates,
+            self._interests,
+            message_size_bytes=message_size_bytes,
+            topic_labels=self._topic_labels,
+            subscriber_labels=self._subscriber_labels,
+        )
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"Workload(topics={self.num_topics}, "
+            f"subscribers={self.num_subscribers}, pairs={self.num_pairs})"
+        )
+
+
+def build_workload(
+    subscriptions: Mapping[int, Sequence[int]],
+    event_rates: Mapping[int, float],
+    message_size_bytes: float = 200.0,
+) -> Workload:
+    """Build a :class:`Workload` from sparse mappings.
+
+    ``subscriptions`` maps *subscriber id -> iterable of topic ids* and
+    ``event_rates`` maps *topic id -> rate*.  Ids may be arbitrary
+    non-negative integers; they are compacted into dense ranges and the
+    original ids are preserved as labels.
+
+    This is the friendly entry point for users loading their own traces
+    (the generators in :mod:`repro.workloads` construct dense
+    :class:`Workload` objects directly).
+    """
+    topic_ids = sorted(event_rates)
+    topic_index = {t: i for i, t in enumerate(topic_ids)}
+    rates = [float(event_rates[t]) for t in topic_ids]
+
+    subscriber_ids = sorted(subscriptions)
+    interests: List[List[int]] = []
+    for v in subscriber_ids:
+        try:
+            interests.append(sorted(topic_index[t] for t in subscriptions[v]))
+        except KeyError as exc:  # re-raise with context
+            raise WorkloadError(
+                f"subscriber {v} subscribes to unknown topic {exc.args[0]}"
+            ) from exc
+
+    return Workload(
+        rates,
+        interests,
+        message_size_bytes=message_size_bytes,
+        topic_labels=[str(t) for t in topic_ids],
+        subscriber_labels=[str(v) for v in subscriber_ids],
+    )

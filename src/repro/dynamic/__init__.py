@@ -1,0 +1,16 @@
+"""Dynamic/online reprovisioning (the paper's future work, Section VI)."""
+
+from .autoscaler import AutoscalePolicy, AutoscaleReport, Autoscaler
+from .churn import ChurnConfig, ChurnModel, WorkloadDelta
+from .reprovision import EpochReport, IncrementalReprovisioner
+
+__all__ = [
+    "AutoscalePolicy",
+    "AutoscaleReport",
+    "Autoscaler",
+    "ChurnConfig",
+    "ChurnModel",
+    "WorkloadDelta",
+    "EpochReport",
+    "IncrementalReprovisioner",
+]

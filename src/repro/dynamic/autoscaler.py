@@ -1,0 +1,134 @@
+"""Utilization-driven autoscaling for a running broker cluster.
+
+The incremental reprovisioner (:mod:`repro.dynamic.reprovision`) reacts
+to *workload* changes it is told about.  An operator also wants the
+reverse direction: watch the *fleet* and act when VMs run hot or cold,
+without being handed a workload diff.  This controller implements the
+classic threshold policy on top of :class:`~repro.broker.BrokerCluster`:
+
+* when a node's utilization exceeds ``scale_up_threshold``, shed its
+  smallest topic groups onto the fleet (the cluster's placement policy
+  prefers nodes already hosting the topic, then the freest node, then a
+  fresh one);
+* when a node drops below ``scale_down_threshold``, drain it entirely
+  and retire it -- *if* the remaining fleet has room at the target
+  utilization;
+* hysteresis (the gap between the two thresholds) prevents flapping.
+
+Every action is recorded in an :class:`AutoscaleReport`, so experiments
+can compare the steady-state fleet against a fresh MCSS solve.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Tuple
+
+from ..broker import BrokerCluster
+
+__all__ = ["AutoscalePolicy", "AutoscaleReport", "Autoscaler"]
+
+
+@dataclass(frozen=True)
+class AutoscalePolicy:
+    """Threshold policy with hysteresis."""
+
+    scale_up_threshold: float = 0.9
+    scale_down_threshold: float = 0.3
+    target_utilization: float = 0.75
+
+    def __post_init__(self) -> None:
+        if not 0 < self.scale_down_threshold < self.scale_up_threshold <= 1.0:
+            raise ValueError(
+                "need 0 < scale_down < scale_up <= 1 (hysteresis band)"
+            )
+        if not self.scale_down_threshold < self.target_utilization < self.scale_up_threshold:
+            raise ValueError("target utilization must sit inside the band")
+
+
+@dataclass
+class AutoscaleReport:
+    """What one autoscaling pass did."""
+
+    moves: int = 0
+    nodes_drained: int = 0
+    hot_nodes_cooled: int = 0
+    actions: List[str] = field(default_factory=list)
+
+    def record(self, action: str) -> None:
+        """Append a human-readable action line."""
+        self.actions.append(action)
+
+
+class Autoscaler:
+    """Threshold autoscaler bound to one broker cluster."""
+
+    def __init__(
+        self, cluster: BrokerCluster, policy: AutoscalePolicy = AutoscalePolicy()
+    ) -> None:
+        self.cluster = cluster
+        self.policy = policy
+
+    # ------------------------------------------------------------------
+    def run_once(self) -> AutoscaleReport:
+        """One control pass: cool hot nodes, then drain cold ones."""
+        report = AutoscaleReport()
+        self._cool_hot_nodes(report)
+        self._drain_cold_nodes(report)
+        return report
+
+    # ------------------------------------------------------------------
+    def _cool_hot_nodes(self, report: AutoscaleReport) -> None:
+        policy = self.policy
+        for node in list(self.cluster.nodes):
+            if node.utilization <= policy.scale_up_threshold:
+                continue
+            cooled = False
+            # Shed smallest topic groups until back at target.
+            while node.utilization > policy.target_utilization:
+                groups = sorted(
+                    ((t, node.subscribers_of(t)) for t in list(node.topics)),
+                    key=lambda ts: len(ts[1]),
+                )
+                if not groups or (len(groups) == 1 and node.utilization <= 1.0):
+                    break  # cannot shed the only group of a stable node
+                topic, subs = groups[0]
+                for v in sorted(subs):
+                    node_from = self.cluster.unsubscribe(topic, v)
+                    assert node_from == node.node_id
+                    self.cluster.subscribe(topic, v, exclude={node.node_id})
+                    report.moves += 1
+                cooled = True
+                report.record(
+                    f"moved topic {topic} ({len(subs)} pairs) off hot "
+                    f"node {node.node_id}"
+                )
+            if cooled:
+                report.hot_nodes_cooled += 1
+
+    def _drain_cold_nodes(self, report: AutoscaleReport) -> None:
+        policy = self.policy
+        for node in list(self.cluster.nodes):
+            if node.num_pairs == 0 or node.utilization >= policy.scale_down_threshold:
+                continue
+            # Only drain when the rest of the fleet has headroom.
+            others_free = sum(
+                max(0.0, policy.target_utilization * n.capacity_bytes - n.used_bytes)
+                for n in self.cluster.nodes
+                if n.node_id != node.node_id
+            )
+            if node.used_bytes > others_free:
+                continue
+            pairs: List[Tuple[int, int]] = [
+                (t, v)
+                for t in list(node.topics)
+                for v in sorted(node.subscribers_of(t))
+            ]
+            for t, v in pairs:
+                self.cluster.unsubscribe(t, v)
+                self.cluster.subscribe(t, v, exclude={node.node_id})
+                report.moves += 1
+            report.nodes_drained += 1
+            report.record(
+                f"drained cold node {node.node_id} ({len(pairs)} pairs)"
+            )

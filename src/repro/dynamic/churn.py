@@ -1,0 +1,142 @@
+"""Workload churn model for dynamic reprovisioning experiments.
+
+Section IV-F motivates re-running the allocator periodically "to adapt
+to the changes in the event rates, new subscriptions, unsubscriptions,
+etc.", and Section VI leaves an online algorithm as future work.  This
+module supplies the *change process*: given a workload, draw the next
+epoch's workload by
+
+* unsubscribing a fraction of existing pairs,
+* subscribing new pairs (popularity-biased, like the generators),
+* drifting every topic's event rate lognormally.
+
+The deltas are reported explicitly so an incremental reprovisioner can
+react to exactly what changed instead of re-reading the world.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Set, Tuple
+
+import numpy as np
+
+from ..core import Pair, Workload
+
+__all__ = ["ChurnConfig", "WorkloadDelta", "ChurnModel"]
+
+
+@dataclass(frozen=True)
+class ChurnConfig:
+    """Per-epoch churn intensities."""
+
+    unsubscribe_fraction: float = 0.02
+    subscribe_fraction: float = 0.02
+    rate_drift_sigma: float = 0.05
+
+    def __post_init__(self) -> None:
+        if not 0 <= self.unsubscribe_fraction < 1:
+            raise ValueError("unsubscribe_fraction must be in [0, 1)")
+        if self.subscribe_fraction < 0:
+            raise ValueError("subscribe_fraction must be non-negative")
+        if self.rate_drift_sigma < 0:
+            raise ValueError("rate_drift_sigma must be non-negative")
+
+
+@dataclass(frozen=True)
+class WorkloadDelta:
+    """What changed between two epochs."""
+
+    workload: Workload
+    subscribed: Tuple[Pair, ...]
+    unsubscribed: Tuple[Pair, ...]
+    rate_changed_topics: Tuple[int, ...]
+
+    @property
+    def touched_subscribers(self) -> Set[int]:
+        """Subscribers whose interest changed."""
+        return {v for _t, v in self.subscribed} | {v for _t, v in self.unsubscribed}
+
+
+class ChurnModel:
+    """Evolve a workload epoch by epoch; deterministic given a seed."""
+
+    def __init__(
+        self,
+        workload: Workload,
+        config: ChurnConfig = ChurnConfig(),
+        seed: Optional[int] = 0,
+    ) -> None:
+        self.config = config
+        self._rng = np.random.default_rng(seed)
+        self._workload = workload
+
+    @property
+    def workload(self) -> Workload:
+        """The current epoch's workload."""
+        return self._workload
+
+    def step(self) -> WorkloadDelta:
+        """Advance one epoch and return the delta."""
+        cfg = self.config
+        rng = self._rng
+        workload = self._workload
+        num_topics = workload.num_topics
+
+        interests: List[Set[int]] = [
+            set(workload.interest(v).tolist())
+            for v in range(workload.num_subscribers)
+        ]
+        all_pairs: List[Pair] = [
+            (t, v) for v, topics in enumerate(interests) for t in topics
+        ]
+
+        # Unsubscriptions: drop a uniform fraction of existing pairs,
+        # but never a subscriber's last topic (subscribers do not
+        # vanish mid-experiment; they lose interest in topics).
+        unsubscribed: List[Pair] = []
+        if all_pairs and cfg.unsubscribe_fraction > 0:
+            k = int(len(all_pairs) * cfg.unsubscribe_fraction)
+            for idx in rng.choice(len(all_pairs), size=k, replace=False):
+                t, v = all_pairs[int(idx)]
+                if len(interests[v]) > 1 and t in interests[v]:
+                    interests[v].discard(t)
+                    unsubscribed.append((t, v))
+
+        # Subscriptions: popularity-biased new pairs (rate-weighted, a
+        # proxy for follower counts).
+        subscribed: List[Pair] = []
+        if cfg.subscribe_fraction > 0 and num_topics > 0:
+            k = int(len(all_pairs) * cfg.subscribe_fraction)
+            weights = workload.event_rates / workload.event_rates.sum()
+            topics = rng.choice(num_topics, size=k, p=weights)
+            subscribers = rng.integers(0, workload.num_subscribers, size=k)
+            for t, v in zip(topics.tolist(), subscribers.tolist()):
+                if t not in interests[v]:
+                    interests[v].add(t)
+                    subscribed.append((t, v))
+
+        # Rate drift: multiplicative lognormal, floored at one event.
+        rates = workload.event_rates.copy()
+        changed_topics: Tuple[int, ...] = ()
+        if cfg.rate_drift_sigma > 0:
+            factors = np.exp(
+                rng.normal(0.0, cfg.rate_drift_sigma, size=num_topics)
+            )
+            new_rates = np.maximum(1.0, np.round(rates * factors))
+            changed_topics = tuple(
+                int(t) for t in np.flatnonzero(new_rates != rates)
+            )
+            rates = new_rates
+
+        self._workload = Workload(
+            rates,
+            [sorted(s) for s in interests],
+            message_size_bytes=workload.message_size_bytes,
+        )
+        return WorkloadDelta(
+            workload=self._workload,
+            subscribed=tuple(subscribed),
+            unsubscribed=tuple(unsubscribed),
+            rate_changed_topics=changed_topics,
+        )

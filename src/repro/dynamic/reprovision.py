@@ -1,0 +1,322 @@
+"""Incremental reprovisioning across workload epochs.
+
+The paper's answer to workload dynamics is "re-run the whole solver
+periodically" (Section IV-F); a true online algorithm is left as future
+work (Section VI).  This module implements that future-work extension
+in the most natural form compatible with the two-stage structure:
+
+* per epoch, Stage 1 is re-run **only for subscribers whose interest
+  or threshold changed** (selection is per-subscriber independent, so
+  the untouched selections remain optimal w.r.t. the greedy);
+* removed pairs are plucked out of their VMs; new pairs are placed
+  preferring VMs that already host the topic (no extra ingest), then
+  the most-free VM, then a fresh VM;
+* rate drift re-prices every VM; overloaded VMs evict their
+  smallest-rate topic groups, which re-enter through the same placer;
+* empty VMs are terminated;
+* when the incremental fleet drifts more than ``rebuild_threshold``
+  above a fresh two-stage solve, the reprovisioner rebuilds from
+  scratch (the paper's periodic full re-run, used as a safety net
+  rather than the steady state).
+
+The per-epoch :class:`EpochReport` records cost, move counts, and how
+the incremental solution compares to solving from scratch -- the
+stability-vs-optimality trade-off an online system actually cares
+about.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Set, Tuple
+
+import numpy as np
+
+from ..core import MCSSProblem, Pair, PairSelection, Placement, SolutionCost
+from ..pricing import PricingPlan
+from ..solver import MCSSSolver
+
+__all__ = ["EpochReport", "IncrementalReprovisioner"]
+
+_EPS = 1e-12
+
+
+@dataclass(frozen=True)
+class EpochReport:
+    """What one epoch of reprovisioning did."""
+
+    epoch: int
+    cost: SolutionCost
+    fresh_cost: SolutionCost
+    pairs_added: int
+    pairs_removed: int
+    pairs_moved: int
+    vms_opened: int
+    vms_closed: int
+    rebuilt: bool
+    seconds: float
+
+    @property
+    def drift(self) -> float:
+        """Incremental cost relative to a fresh solve (1.0 = equal)."""
+        if self.fresh_cost.total_usd == 0:
+            return 1.0
+        return self.cost.total_usd / self.fresh_cost.total_usd
+
+
+class IncrementalReprovisioner:
+    """Maintain a near-optimal placement under workload churn."""
+
+    def __init__(
+        self,
+        problem: MCSSProblem,
+        rebuild_threshold: float = 1.15,
+        solver: Optional[MCSSSolver] = None,
+    ) -> None:
+        if rebuild_threshold < 1.0:
+            raise ValueError("rebuild_threshold must be >= 1.0")
+        self._solver = solver or MCSSSolver.paper()
+        self._rebuild_threshold = rebuild_threshold
+        self._tau = problem.tau
+        self._plan = problem.plan
+        self._epoch = 0
+
+        solution = self._solver.solve(problem)
+        self._workload = problem.workload
+        # Mutable mirror of the placement: vm -> topic -> set(subs).
+        self._vms: List[Dict[int, Set[int]]] = []
+        for b in range(solution.placement.num_vms):
+            table: Dict[int, Set[int]] = {}
+            for t in solution.placement.vm_topics(b):
+                table[t] = set(solution.placement.members(b, t))
+            self._vms.append(table)
+        # subscriber -> set of selected topics (the Stage-1 state).
+        self._selected: Dict[int, Set[int]] = {}
+        for t, v in solution.selection:
+            self._selected.setdefault(v, set()).add(t)
+
+    # ------------------------------------------------------------------
+    # Public surface
+    # ------------------------------------------------------------------
+    @property
+    def problem(self) -> MCSSProblem:
+        """The current epoch's MCSS instance."""
+        return MCSSProblem(self._workload, self._tau, self._plan)
+
+    def placement(self) -> Placement:
+        """Materialize the current assignment as a Placement."""
+        problem = self.problem
+        placement = problem.empty_placement()
+        for table in self._vms:
+            if not table:
+                continue
+            b = placement.new_vm()
+            for t, subs in sorted(table.items()):
+                placement.assign(b, t, sorted(subs))
+        return placement
+
+    def step(self, new_workload) -> EpochReport:
+        """Adapt to a new epoch's workload; returns the epoch report.
+
+        Accepts either a :class:`~repro.dynamic.churn.WorkloadDelta`
+        (preferred: only touched subscribers are re-selected) or a bare
+        :class:`~repro.core.workload.Workload` (every subscriber is
+        re-checked).
+        """
+        t0 = time.perf_counter()
+        self._epoch += 1
+        from .churn import WorkloadDelta  # local import avoids a cycle
+
+        if isinstance(new_workload, WorkloadDelta):
+            delta = new_workload
+            workload = delta.workload
+            touched = set(delta.touched_subscribers)
+            # Rate changes move thresholds, so every subscriber of a
+            # re-priced topic must be re-checked.
+            if delta.rate_changed_topics:
+                changed = set(delta.rate_changed_topics)
+                for v in range(workload.num_subscribers):
+                    if changed.intersection(workload.interest(v).tolist()):
+                        touched.add(v)
+        else:
+            workload = new_workload
+            touched = set(range(workload.num_subscribers))
+
+        old_workload = self._workload
+        self._workload = workload
+
+        added, removed = self._reselect(touched, old_workload)
+        moves = self._evict_overloaded()
+        opened_before = len(self._vms)
+        for t, v in removed:
+            self._remove_pair(t, v)
+        placed = list(added) + moves
+        for t, v in placed:
+            self._place_pair(t, v)
+        closed = self._close_empty_vms()
+
+        # Compare against a fresh solve; rebuild when drifted too far.
+        problem = self.problem
+        fresh = self._solver.solve(problem)
+        placement = self.placement()
+        cost = problem.cost_components(
+            placement.num_vms, placement.total_bytes
+        )
+        rebuilt = False
+        if cost.total_usd > fresh.cost.total_usd * self._rebuild_threshold:
+            self._adopt(fresh.placement, fresh.selection)
+            placement = self.placement()
+            cost = problem.cost_components(placement.num_vms, placement.total_bytes)
+            rebuilt = True
+
+        return EpochReport(
+            epoch=self._epoch,
+            cost=cost,
+            fresh_cost=fresh.cost,
+            pairs_added=len(added),
+            pairs_removed=len(removed),
+            pairs_moved=len(moves),
+            vms_opened=max(0, len(self._vms) - opened_before),
+            vms_closed=closed,
+            rebuilt=rebuilt,
+            seconds=time.perf_counter() - t0,
+        )
+
+    # ------------------------------------------------------------------
+    # Stage-1 incremental re-selection
+    # ------------------------------------------------------------------
+    def _reselect(
+        self, touched: Set[int], old_workload
+    ) -> Tuple[List[Pair], List[Pair]]:
+        """Re-run greedy selection for touched subscribers only."""
+        workload = self._workload
+        rates = workload.event_rates
+        tau = float(self._tau)
+        added: List[Pair] = []
+        removed: List[Pair] = []
+
+        for v in touched:
+            old_topics = self._selected.get(v, set())
+            if v >= workload.num_subscribers:
+                # Subscriber disappeared entirely.
+                removed.extend((t, v) for t in old_topics)
+                self._selected.pop(v, None)
+                continue
+            interest = workload.interest(v)
+            new_topics = self._greedy_for(interest, rates, tau)
+            for t in old_topics - new_topics:
+                removed.append((t, v))
+            for t in new_topics - old_topics:
+                added.append((t, v))
+            if new_topics:
+                self._selected[v] = new_topics
+            else:
+                self._selected.pop(v, None)
+        return added, removed
+
+    @staticmethod
+    def _greedy_for(interest, rates, tau: float) -> Set[int]:
+        """Single-subscriber GSP (same schedule as GreedySelectPairs)."""
+        if interest.size == 0:
+            return set()
+        topic_rates = rates[interest]
+        tau_v = min(tau, float(topic_rates.sum()))
+        if tau_v <= 0:
+            return set()
+        order = np.lexsort((interest, -topic_rates))
+        chosen: Set[int] = set()
+        remaining = tau_v
+        best_skip, best_rate = -1, float("inf")
+        for i in order.tolist():
+            if remaining <= _EPS:
+                break
+            rate = float(topic_rates[i])
+            if rate <= remaining + _EPS:
+                chosen.add(int(interest[i]))
+                remaining -= rate
+            elif rate < best_rate:
+                best_rate = rate
+                best_skip = int(interest[i])
+        if remaining > _EPS:
+            chosen.add(best_skip)
+        return chosen
+
+    # ------------------------------------------------------------------
+    # Placement surgery
+    # ------------------------------------------------------------------
+    def _vm_used_bytes(self, table: Dict[int, Set[int]]) -> float:
+        rates = self._workload.event_rates
+        msg = self._workload.message_size_bytes
+        return sum(
+            float(rates[t]) * (len(subs) + 1) for t, subs in table.items()
+        ) * msg
+
+    def _remove_pair(self, t: int, v: int) -> None:
+        for table in self._vms:
+            subs = table.get(t)
+            if subs is not None and v in subs:
+                subs.discard(v)
+                if not subs:
+                    del table[t]
+                return
+
+    def _place_pair(self, t: int, v: int) -> None:
+        """Host-topic VM first, then most-free, then a fresh VM."""
+        rates = self._workload.event_rates
+        msg = self._workload.message_size_bytes
+        capacity = self._plan.capacity_bytes
+        topic_bytes = float(rates[t]) * msg
+
+        best_idx = -1
+        best_free = -1.0
+        for idx, table in enumerate(self._vms):
+            used = self._vm_used_bytes(table)
+            free = capacity - used
+            need = topic_bytes if t in table else 2.0 * topic_bytes
+            if need <= free + 1e-9:
+                # Prefer any VM already hosting the topic; among the
+                # rest, the most free one.
+                score = free + (capacity if t in table else 0.0)
+                if score > best_free:
+                    best_free = score
+                    best_idx = idx
+        if best_idx < 0:
+            self._vms.append({})
+            best_idx = len(self._vms) - 1
+        self._vms[best_idx].setdefault(t, set()).add(v)
+
+    def _evict_overloaded(self) -> List[Pair]:
+        """Evict smallest-rate topic groups until every VM fits."""
+        rates = self._workload.event_rates
+        capacity = self._plan.capacity_bytes
+        evicted: List[Pair] = []
+        for table in self._vms:
+            while table and self._vm_used_bytes(table) > capacity + 1e-6:
+                t = min(table, key=lambda t_: float(rates[t_]) * len(table[t_]))
+                for v in sorted(table.pop(t)):
+                    evicted.append((t, v))
+        # Stale pairs (topics that vanished from interests) are dropped
+        # rather than re-placed.
+        valid: List[Pair] = []
+        for t, v in evicted:
+            if t in self._selected.get(v, set()):
+                valid.append((t, v))
+        return valid
+
+    def _close_empty_vms(self) -> int:
+        before = len(self._vms)
+        self._vms = [table for table in self._vms if table]
+        return before - len(self._vms)
+
+    def _adopt(self, placement: Placement, selection: PairSelection) -> None:
+        """Replace internal state with a fresh solve's output."""
+        self._vms = []
+        for b in range(placement.num_vms):
+            table: Dict[int, Set[int]] = {}
+            for t in placement.vm_topics(b):
+                table[t] = set(placement.members(b, t))
+            self._vms.append(table)
+        self._selected = {}
+        for t, v in selection:
+            self._selected.setdefault(v, set()).add(t)

@@ -1,0 +1,30 @@
+"""Exact solvers and the NP-hardness reduction (Sections II-C, II-D).
+
+* :func:`solve_exact` -- MILP (scipy/HiGHS) for small instances;
+* :func:`solve_bruteforce` -- exhaustive search, the trust anchor;
+* :func:`solve_dcss` -- the decision problem;
+* :mod:`repro.exact.reduction` -- the executable Partition reduction.
+"""
+
+from .bruteforce import BruteForceSolution, solve_bruteforce
+from .milp import ExactSolution, solve_dcss, solve_exact
+from .reduction import (
+    ReductionOutcome,
+    dcss_answer,
+    partition_has_solution,
+    partition_to_mcss,
+    verify_reduction,
+)
+
+__all__ = [
+    "BruteForceSolution",
+    "solve_bruteforce",
+    "ExactSolution",
+    "solve_dcss",
+    "solve_exact",
+    "ReductionOutcome",
+    "dcss_answer",
+    "partition_has_solution",
+    "partition_to_mcss",
+    "verify_reduction",
+]

@@ -1,0 +1,123 @@
+"""Brute-force MCSS for *tiny* instances.
+
+Enumerates every assignment of every pair to ``{unselected, VM 1, ...,
+VM max_vms}`` and keeps the cheapest feasible one.  Exponential --
+``(max_vms + 1) ** num_pairs`` candidates -- and deliberately so: this
+is the trust anchor the MILP solver is cross-checked against in the
+test suite.  Guarded to ~2 million candidate evaluations.
+"""
+
+from __future__ import annotations
+
+import itertools
+import math
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Tuple
+
+from ..core import MCSSProblem, Placement, SolutionCost
+
+__all__ = ["BruteForceSolution", "solve_bruteforce"]
+
+_MAX_CANDIDATES = 2_000_000
+
+
+@dataclass(frozen=True)
+class BruteForceSolution:
+    """Result of an exhaustive MCSS search."""
+
+    cost: SolutionCost
+    placement: Placement
+
+
+def solve_bruteforce(problem: MCSSProblem, max_vms: int) -> BruteForceSolution:
+    """Exhaustively find the optimal placement using at most ``max_vms``.
+
+    Raises ``ValueError`` when the search space exceeds the guard or
+    when no feasible assignment exists within ``max_vms`` VMs.
+    """
+    workload = problem.workload
+    rates = workload.event_rates
+    msg = workload.message_size_bytes
+    tau = float(problem.tau)
+    capacity = problem.capacity_bytes
+
+    pairs: List[Tuple[int, int]] = list(workload.iter_pairs())
+    num_pairs = len(pairs)
+    candidates = (max_vms + 1) ** num_pairs
+    if candidates > _MAX_CANDIDATES:
+        raise ValueError(
+            f"{candidates} candidates exceed the brute-force guard "
+            f"({_MAX_CANDIDATES}); use the MILP solver"
+        )
+
+    thresholds: Dict[int, float] = {}
+    for v in range(workload.num_subscribers):
+        interest = workload.interest(v)
+        if interest.size:
+            thresholds[v] = min(tau, float(rates[interest].sum()))
+
+    pair_rates = [float(rates[t]) for t, _v in pairs]
+    best_cost: Optional[SolutionCost] = None
+    best_assignment: Optional[Tuple[int, ...]] = None
+
+    for assignment in itertools.product(range(max_vms + 1), repeat=num_pairs):
+        # Per-VM load (events): pairs + distinct-topic ingest.
+        out_ev = [0.0] * max_vms
+        topics_on: List[set] = [set() for _ in range(max_vms)]
+        delivered: Dict[int, float] = {}
+        seen_tv: set = set()
+        for p, slot in enumerate(assignment):
+            if slot == 0:
+                continue
+            b = slot - 1
+            t, v = pairs[p]
+            out_ev[b] += pair_rates[p]
+            topics_on[b].add(t)
+            if (t, v) not in seen_tv:
+                seen_tv.add((t, v))
+                delivered[v] = delivered.get(v, 0.0) + pair_rates[p]
+
+        feasible = True
+        for v, tau_v in thresholds.items():
+            if delivered.get(v, 0.0) < tau_v * (1.0 - 1e-9):
+                feasible = False
+                break
+        if not feasible:
+            continue
+        total_bytes = 0.0
+        used_vms = 0
+        for b in range(max_vms):
+            if not topics_on[b]:
+                continue
+            load = (out_ev[b] + sum(float(rates[t]) for t in topics_on[b])) * msg
+            if load > capacity * (1.0 + 1e-9):
+                feasible = False
+                break
+            total_bytes += load
+            used_vms += 1
+        if not feasible:
+            continue
+
+        cost = problem.cost_components(used_vms, total_bytes)
+        if best_cost is None or cost.total_usd < best_cost.total_usd - 1e-12:
+            best_cost = cost
+            best_assignment = assignment
+
+    if best_assignment is None:
+        raise ValueError(f"no feasible assignment within {max_vms} VMs")
+
+    placement = problem.empty_placement()
+    vm_index: Dict[int, int] = {}
+    grouped: Dict[Tuple[int, int], List[int]] = {}
+    for p, slot in enumerate(best_assignment):
+        if slot == 0:
+            continue
+        t, v = pairs[p]
+        grouped.setdefault((slot - 1, t), []).append(v)
+    for (b, t), subs in sorted(grouped.items()):
+        if b not in vm_index:
+            vm_index[b] = placement.new_vm()
+        placement.assign(vm_index[b], t, subs)
+
+    assert best_cost is not None
+    return BruteForceSolution(cost=problem.cost_of(placement), placement=placement)

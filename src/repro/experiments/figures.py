@@ -1,0 +1,131 @@
+"""One entry point per paper figure.
+
+``run_figure("fig2a")`` etc. reproduce each experiment of Section IV at
+the library's default (laptop-scale) configuration; every benchmark in
+``benchmarks/`` and the ``mcss figure`` CLI command route through here,
+so the per-figure parameters live in exactly one place.
+
+The experiment index (figure -> workload, parameters, modules) is
+documented in DESIGN.md; paper-vs-measured numbers in EXPERIMENTS.md.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Dict, Optional
+
+from .config import PAPER_TAUS, ExperimentScale, make_plan, make_trace
+from .ladder import LadderResult, run_cost_ladder
+from .runtime import (
+    Stage1RuntimeResult,
+    Stage2RuntimeResult,
+    run_stage1_runtime,
+    run_stage2_runtime,
+)
+from .summary import SummaryResult, run_summary
+from .traces import TraceFigure, run_trace_figure
+
+__all__ = ["FIGURES", "run_figure", "describe_figures"]
+
+
+@dataclass(frozen=True)
+class _FigureSpec:
+    """How to run one figure."""
+
+    figure_id: str
+    description: str
+    runner: Callable[[ExperimentScale], object]
+
+
+def _ladder(trace_name: str, instance: str) -> Callable[[ExperimentScale], LadderResult]:
+    def run(scale: ExperimentScale) -> LadderResult:
+        trace = make_trace(trace_name, scale)
+        plan = make_plan(instance, trace.workload, scale)
+        return run_cost_ladder(
+            trace.workload, plan, PAPER_TAUS, trace_name=trace_name
+        )
+
+    return run
+
+
+def _stage1(trace_name: str) -> Callable[[ExperimentScale], Stage1RuntimeResult]:
+    def run(scale: ExperimentScale) -> Stage1RuntimeResult:
+        trace = make_trace(trace_name, scale)
+        plan = make_plan("c3.large", trace.workload, scale)
+        return run_stage1_runtime(
+            trace.workload, plan, PAPER_TAUS, trace_name=trace_name
+        )
+
+    return run
+
+
+def _stage2(trace_name: str) -> Callable[[ExperimentScale], Stage2RuntimeResult]:
+    def run(scale: ExperimentScale) -> Stage2RuntimeResult:
+        trace = make_trace(trace_name, scale)
+        plan = make_plan("c3.large", trace.workload, scale)
+        return run_stage2_runtime(
+            trace.workload, plan, PAPER_TAUS, trace_name=trace_name
+        )
+
+    return run
+
+
+def _trace_figure(figure_id: str) -> Callable[[ExperimentScale], TraceFigure]:
+    def run(scale: ExperimentScale) -> TraceFigure:
+        trace = make_trace("twitter", scale)
+        return run_trace_figure(figure_id, trace)
+
+    return run
+
+
+def _summary(scale: ExperimentScale) -> SummaryResult:
+    workloads = {}
+    plans = {}
+    for name in ("spotify", "twitter"):
+        trace = make_trace(name, scale)
+        workloads[name] = trace.workload
+        plans[name] = make_plan("c3.large", trace.workload, scale)
+    return run_summary(workloads, plans, PAPER_TAUS)
+
+
+FIGURES: Dict[str, _FigureSpec] = {
+    spec.figure_id: spec
+    for spec in (
+        _FigureSpec("fig2a", "Spotify cost ladder, c3.large (64 mbps)", _ladder("spotify", "c3.large")),
+        _FigureSpec("fig2b", "Spotify cost ladder, c3.xlarge (128 mbps)", _ladder("spotify", "c3.xlarge")),
+        _FigureSpec("fig3a", "Twitter cost ladder, c3.large (64 mbps)", _ladder("twitter", "c3.large")),
+        _FigureSpec("fig3b", "Twitter cost ladder, c3.xlarge (128 mbps)", _ladder("twitter", "c3.xlarge")),
+        _FigureSpec("fig4", "Stage-1 runtime, Spotify", _stage1("spotify")),
+        _FigureSpec("fig5", "Stage-1 runtime, Twitter", _stage1("twitter")),
+        _FigureSpec("fig6", "Stage-2 runtime, Spotify, c3.large", _stage2("spotify")),
+        _FigureSpec("fig7", "Stage-2 runtime, Twitter, c3.large", _stage2("twitter")),
+        _FigureSpec("fig8", "CCDF of #followers/#followings", _trace_figure("fig8")),
+        _FigureSpec("fig9", "CCDF of event rate", _trace_figure("fig9")),
+        _FigureSpec("fig10", "Mean event rate vs #followers", _trace_figure("fig10")),
+        _FigureSpec("fig11", "CCDF of subscription cardinality", _trace_figure("fig11")),
+        _FigureSpec("fig12", "Mean SC vs #followings", _trace_figure("fig12")),
+        _FigureSpec("summary", "Section IV-F headline numbers", _summary),
+    )
+}
+
+
+def run_figure(figure_id: str, scale: Optional[ExperimentScale] = None):
+    """Run one figure's experiment and return its result object.
+
+    Every result has a ``render()`` producing the plain-text analogue
+    of the paper's plot.
+    """
+    try:
+        spec = FIGURES[figure_id]
+    except KeyError:
+        known = ", ".join(sorted(FIGURES))
+        raise KeyError(f"unknown figure {figure_id!r}; known: {known}") from None
+    return spec.runner(scale or ExperimentScale())
+
+
+def describe_figures() -> str:
+    """List all reproducible figures with one-line descriptions."""
+    lines = ["Reproducible experiments:"]
+    for figure_id in sorted(FIGURES):
+        lines.append(f"  {figure_id:<8} {FIGURES[figure_id].description}")
+    return "\n".join(lines)

@@ -1,0 +1,133 @@
+"""Runtime experiments (Figures 4-7).
+
+* Figures 4-5: Stage-1 runtime, GreedySelectPairs vs RandomSelectPairs,
+  per tau, on the Spotify-like and Twitter-like traces.
+* Figures 6-7: Stage-2 runtime, CustomBinPacking (all optimizations)
+  vs FFBinPacking, with Stage-1 fixed to GSP, on c3.large.
+
+The absolute seconds differ from the paper's C++ on a Xeon server; the
+*shape* is what must reproduce -- GSP costs more than RSP but stays
+near-constant in tau, and CBP beats FFBP by one to three orders of
+magnitude with the gap widening with trace size.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Dict, List, Sequence
+
+from ..core import MCSSProblem, Workload
+from ..packing import CBPOptions, CustomBinPacking, FFBinPacking
+from ..pricing import PricingPlan
+from ..selection import GreedySelectPairs, RandomSelectPairs
+from .tables import format_table
+
+__all__ = [
+    "Stage1RuntimeResult",
+    "Stage2RuntimeResult",
+    "run_stage1_runtime",
+    "run_stage2_runtime",
+]
+
+
+@dataclass
+class Stage1RuntimeResult:
+    """Figures 4-5: seconds per (algorithm, tau)."""
+
+    trace_name: str
+    taus: Sequence[float]
+    seconds: Dict[str, Dict[float, float]] = field(default_factory=dict)
+
+    def render(self) -> str:
+        """Aligned table, one row per algorithm."""
+        header = ["algorithm"] + [f"tau={tau:g}" for tau in self.taus]
+        rows = [
+            [name] + [self.seconds[name][tau] for tau in self.taus]
+            for name in self.seconds
+        ]
+        return format_table(
+            f"{self.trace_name}: Stage 1 runtime (seconds)", header, rows
+        )
+
+
+@dataclass
+class Stage2RuntimeResult:
+    """Figures 6-7: seconds per (algorithm, tau), Stage 1 fixed to GSP."""
+
+    trace_name: str
+    instance_name: str
+    taus: Sequence[float]
+    seconds: Dict[str, Dict[float, float]] = field(default_factory=dict)
+
+    def speedup(self, tau: float) -> float:
+        """FFBP time over CBP time (the paper reports 10x-1000x)."""
+        cbp = self.seconds["cbp"][tau]
+        if cbp == 0:
+            return float("inf")
+        return self.seconds["ffbp"][tau] / cbp
+
+    def render(self) -> str:
+        """Aligned table, one row per algorithm plus the speedup row."""
+        header = ["algorithm"] + [f"tau={tau:g}" for tau in self.taus]
+        rows = [
+            [name] + [self.seconds[name][tau] for tau in self.taus]
+            for name in self.seconds
+        ]
+        rows.append(["ffbp/cbp speedup"] + [self.speedup(tau) for tau in self.taus])
+        return format_table(
+            f"{self.trace_name} / {self.instance_name}: Stage 2 runtime (seconds)",
+            header,
+            rows,
+        )
+
+
+def run_stage1_runtime(
+    workload: Workload,
+    plan: PricingPlan,
+    taus: Sequence[float],
+    trace_name: str = "trace",
+) -> Stage1RuntimeResult:
+    """Time GSP and RSP selection per tau."""
+    result = Stage1RuntimeResult(trace_name=trace_name, taus=list(taus))
+    algorithms = {
+        "GreedySelectPairs": GreedySelectPairs(),
+        "RandomSelectPairs": RandomSelectPairs(),
+    }
+    for name, algorithm in algorithms.items():
+        result.seconds[name] = {}
+        for tau in taus:
+            problem = MCSSProblem(workload, tau, plan)
+            t0 = time.perf_counter()
+            algorithm.select(problem)
+            result.seconds[name][tau] = time.perf_counter() - t0
+    return result
+
+
+def run_stage2_runtime(
+    workload: Workload,
+    plan: PricingPlan,
+    taus: Sequence[float],
+    trace_name: str = "trace",
+) -> Stage2RuntimeResult:
+    """Time CBP (all optimizations) and FFBP on GSP's selection."""
+    result = Stage2RuntimeResult(
+        trace_name=trace_name,
+        instance_name=plan.instance.name,
+        taus=list(taus),
+    )
+    selector = GreedySelectPairs()
+    packers = {
+        "cbp": CustomBinPacking(CBPOptions.ladder("e")),
+        "ffbp": FFBinPacking(),
+    }
+    for name in packers:
+        result.seconds[name] = {}
+    for tau in taus:
+        problem = MCSSProblem(workload, tau, plan)
+        selection = selector.select(problem)  # shared, as in the paper
+        for name, packer in packers.items():
+            t0 = time.perf_counter()
+            packer.pack(problem, selection)
+            result.seconds[name][tau] = time.perf_counter() - t0
+    return result

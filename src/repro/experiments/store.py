@@ -1,0 +1,145 @@
+"""Persisting experiment results and comparing runs.
+
+Reproduction work is iterative: generators get recalibrated, algorithms
+get fixed, and the question after every change is *did the shape
+survive?*  This module stores ladder results as JSON and diffs two runs
+on the qualitative properties the paper's claims rest on:
+
+* the full solution still beats the naive baseline at every tau;
+* savings still shrink (weakly) as tau grows;
+* the lower bound still sits below everything;
+* no metric moved by more than a configurable relative tolerance.
+
+``scripts/record_experiments.py`` writes the human-readable
+EXPERIMENTS.md; this store is the machine-readable companion used by
+regression checks.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from dataclasses import dataclass, field
+from typing import Dict, List, Union
+
+from .ladder import LadderCell, LadderResult
+
+__all__ = ["save_ladder", "load_ladder", "RegressionReport", "compare_ladders"]
+
+_FORMAT_VERSION = 1
+
+
+def save_ladder(result: LadderResult, path: Union[str, os.PathLike]) -> None:
+    """Write a ladder result as JSON."""
+    payload = {
+        "version": _FORMAT_VERSION,
+        "trace_name": result.trace_name,
+        "instance_name": result.instance_name,
+        "taus": list(result.taus),
+        "cells": {
+            variant: {
+                str(tau): {
+                    "cost_usd": cell.cost_usd,
+                    "num_vms": cell.num_vms,
+                    "bandwidth_gb": cell.bandwidth_gb,
+                }
+                for tau, cell in per_tau.items()
+            }
+            for variant, per_tau in result.cells.items()
+        },
+    }
+    with open(path, "w") as fh:
+        json.dump(payload, fh, indent=2, sort_keys=True)
+
+
+def load_ladder(path: Union[str, os.PathLike]) -> LadderResult:
+    """Read a ladder result written by :func:`save_ladder`."""
+    with open(path) as fh:
+        payload = json.load(fh)
+    if payload.get("version") != _FORMAT_VERSION:
+        raise ValueError(f"unsupported result version {payload.get('version')}")
+    result = LadderResult(
+        trace_name=payload["trace_name"],
+        instance_name=payload["instance_name"],
+        taus=[float(t) for t in payload["taus"]],
+    )
+    for variant, per_tau in payload["cells"].items():
+        result.cells[variant] = {
+            float(tau): LadderCell(
+                cost_usd=cell["cost_usd"],
+                num_vms=int(cell["num_vms"]),
+                bandwidth_gb=cell["bandwidth_gb"],
+            )
+            for tau, cell in per_tau.items()
+        }
+    return result
+
+
+@dataclass
+class RegressionReport:
+    """Outcome of comparing a new ladder run against a stored baseline."""
+
+    shape_ok: bool
+    drift_ok: bool
+    problems: List[str] = field(default_factory=list)
+
+    @property
+    def ok(self) -> bool:
+        """Whether the new run preserves shape within tolerance."""
+        return self.shape_ok and self.drift_ok
+
+
+def _check_shape(result: LadderResult, problems: List[str]) -> bool:
+    ok = True
+    taus = sorted(result.taus)
+    try:
+        for tau in taus:
+            if result.savings(tau) <= 0:
+                ok = False
+                problems.append(f"no saving over naive at tau={tau:g}")
+            lb = result.cell("lower-bound", tau).cost_usd
+            ours = result.cell("(e) +cost-decision", tau).cost_usd
+            if lb > ours * (1 + 1e-9):
+                ok = False
+                problems.append(f"lower bound above solution at tau={tau:g}")
+        for lo, hi in zip(taus, taus[1:]):
+            if result.savings(hi) > result.savings(lo) + 0.10:
+                ok = False
+                problems.append(
+                    f"savings grow from tau={lo:g} to tau={hi:g} "
+                    "(paper trend is weakly decreasing)"
+                )
+    except KeyError as exc:
+        ok = False
+        problems.append(f"missing variant {exc}")
+    return ok
+
+
+def compare_ladders(
+    baseline: LadderResult,
+    current: LadderResult,
+    rel_tolerance: float = 0.25,
+) -> RegressionReport:
+    """Diff two ladder runs; see the module docstring for the checks."""
+    problems: List[str] = []
+    shape_ok = _check_shape(current, problems)
+
+    drift_ok = True
+    if set(baseline.cells) != set(current.cells) or list(baseline.taus) != list(
+        current.taus
+    ):
+        drift_ok = False
+        problems.append("variant/tau axes differ between runs")
+    else:
+        for variant, per_tau in baseline.cells.items():
+            for tau, old in per_tau.items():
+                new = current.cells[variant][tau]
+                if old.cost_usd > 0:
+                    drift = abs(new.cost_usd - old.cost_usd) / old.cost_usd
+                    if drift > rel_tolerance:
+                        drift_ok = False
+                        problems.append(
+                            f"{variant} tau={tau:g}: cost moved {drift:.0%} "
+                            f"(> {rel_tolerance:.0%})"
+                        )
+    return RegressionReport(shape_ok=shape_ok, drift_ok=drift_ok, problems=problems)

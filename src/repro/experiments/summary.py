@@ -1,0 +1,70 @@
+"""The Section IV-F headline numbers.
+
+One runner that reproduces the paper's summary claims:
+
+* GSP+CBP saves up to ~74% (Twitter) / ~38% (Spotify) of the total
+  cost versus RSP+FFBP;
+* the full solution lands within ~15% of the lower bound in many
+  cases.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Sequence
+
+from ..core import Workload
+from ..pricing import PricingPlan
+from .ladder import LadderResult, run_cost_ladder
+from .tables import format_table
+
+__all__ = ["SummaryResult", "run_summary"]
+
+
+@dataclass
+class SummaryResult:
+    """Savings and lower-bound gaps per (trace, tau)."""
+
+    ladders: Dict[str, LadderResult]
+    taus: Sequence[float]
+
+    def max_savings(self, trace_name: str) -> float:
+        """Best saving of the full solution over the naive baseline."""
+        ladder = self.ladders[trace_name]
+        return max(ladder.savings(tau) for tau in self.taus)
+
+    def min_gap(self, trace_name: str) -> float:
+        """Smallest gap of the full solution above the lower bound."""
+        ladder = self.ladders[trace_name]
+        return min(ladder.gap_to_lower_bound(tau) for tau in self.taus)
+
+    def render(self) -> str:
+        """The headline table."""
+        header = ["trace"] + [f"save@tau={tau:g}" for tau in self.taus] + [
+            f"LB gap@tau={tau:g}" for tau in self.taus
+        ]
+        rows = []
+        for name, ladder in self.ladders.items():
+            rows.append(
+                [name]
+                + [f"{ladder.savings(tau) * 100:.1f}%" for tau in self.taus]
+                + [f"{ladder.gap_to_lower_bound(tau) * 100:.1f}%" for tau in self.taus]
+            )
+        return format_table(
+            "Section IV-F summary: GSP+CBP vs RSP+FFBP and vs lower bound",
+            header,
+            rows,
+        )
+
+
+def run_summary(
+    workloads: Dict[str, Workload],
+    plans: Dict[str, PricingPlan],
+    taus: Sequence[float],
+) -> SummaryResult:
+    """Run the full ladder per trace and collect the headline numbers."""
+    ladders = {
+        name: run_cost_ladder(workload, plans[name], taus, trace_name=name)
+        for name, workload in workloads.items()
+    }
+    return SummaryResult(ladders=ladders, taus=list(taus))

@@ -1,0 +1,47 @@
+"""Plain-text table rendering for experiment results.
+
+The paper presents results as grouped bar charts; in a terminal-first
+library the same data renders as aligned tables, one row per variant
+and one column group per tau.  Rendering is purely cosmetic -- all
+numbers live in the result dataclasses.
+"""
+
+from __future__ import annotations
+
+from typing import List, Sequence
+
+__all__ = ["format_table"]
+
+
+def format_table(
+    title: str,
+    header: Sequence[str],
+    rows: Sequence[Sequence[object]],
+) -> str:
+    """Render an aligned plain-text table with a title rule."""
+    cells: List[List[str]] = [[str(h) for h in header]]
+    for row in rows:
+        rendered = []
+        for value in row:
+            if isinstance(value, float):
+                # Small magnitudes (scaled-plan dollars, sub-second
+                # runtimes) need more precision than big ones.
+                rendered.append(f"{value:,.4f}" if abs(value) < 10 else f"{value:,.2f}")
+            else:
+                rendered.append(str(value))
+        cells.append(rendered)
+
+    widths = [
+        max(len(cells[r][c]) for r in range(len(cells)))
+        for c in range(len(header))
+    ]
+    lines = [title, "=" * max(len(title), sum(widths) + 2 * (len(widths) - 1))]
+    for r, rendered in enumerate(cells):
+        line = "  ".join(
+            rendered[c].rjust(widths[c]) if r > 0 or True else rendered[c]
+            for c in range(len(rendered))
+        )
+        lines.append(line)
+        if r == 0:
+            lines.append("-" * len(lines[-1]))
+    return "\n".join(lines)

@@ -1,0 +1,30 @@
+"""Stage 2 of the MCSS heuristic: pair-to-VM allocation.
+
+Algorithms (Section III-B / Appendix B of the paper):
+
+* :class:`FFBinPacking` (``"ffbp"``) -- Algorithm 3, the baseline;
+* :class:`CustomBinPacking` (``"cbp"``) -- Algorithm 4 with the
+  optimization ladder controlled by :class:`CBPOptions`;
+* :class:`BestFitBinPacking` (``"bfbp"``) and
+  :class:`FirstFitDecreasingBinPacking` (``"ffdbp"``) -- extra generic
+  baselines for the ablation study.
+"""
+
+from .base import PackingAlgorithm, available_packers, get_packer, register_packer
+from .baselines import BestFitBinPacking, FirstFitDecreasingBinPacking
+from .custom import CBPOptions, CustomBinPacking, cheaper_to_distribute
+from .first_fit import FFBinPacking, iter_pairs_subscriber_major
+
+__all__ = [
+    "PackingAlgorithm",
+    "available_packers",
+    "get_packer",
+    "register_packer",
+    "BestFitBinPacking",
+    "FirstFitDecreasingBinPacking",
+    "CBPOptions",
+    "CustomBinPacking",
+    "cheaper_to_distribute",
+    "FFBinPacking",
+    "iter_pairs_subscriber_major",
+]

@@ -1,0 +1,61 @@
+"""Common interface for Stage-2 VM-allocation algorithms.
+
+Stage 2 (Section III-B) packs the selected topic-subscriber pairs onto
+VMs of capacity ``BC``, trading off the number of VMs against the
+incoming-bandwidth duplication caused by splitting one topic's pairs
+over several machines.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from typing import Callable, Dict, List, Type
+
+from ..core import MCSSProblem, PairSelection, Placement
+
+__all__ = ["PackingAlgorithm", "register_packer", "get_packer", "available_packers"]
+
+
+class PackingAlgorithm(ABC):
+    """A Stage-2 algorithm: allocate selected pairs to a VM fleet."""
+
+    #: Short name used in experiment tables and the CLI.
+    name: str = "abstract"
+
+    @abstractmethod
+    def pack(self, problem: MCSSProblem, selection: PairSelection) -> Placement:
+        """Return a capacity-feasible placement covering every pair."""
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"{type(self).__name__}()"
+
+
+_REGISTRY: Dict[str, Callable[[], PackingAlgorithm]] = {}
+
+
+def register_packer(name: str) -> Callable[[Type[PackingAlgorithm]], Type[PackingAlgorithm]]:
+    """Class decorator registering a packer under ``name``."""
+
+    def decorate(cls: Type[PackingAlgorithm]) -> Type[PackingAlgorithm]:
+        if name in _REGISTRY:
+            raise ValueError(f"packer {name!r} already registered")
+        cls.name = name
+        _REGISTRY[name] = cls
+        return cls
+
+    return decorate
+
+
+def get_packer(name: str, **kwargs) -> PackingAlgorithm:
+    """Instantiate a registered packer by name."""
+    try:
+        factory = _REGISTRY[name]
+    except KeyError:
+        known = ", ".join(sorted(_REGISTRY))
+        raise KeyError(f"unknown packer {name!r}; known: {known}") from None
+    return factory(**kwargs)
+
+
+def available_packers() -> List[str]:
+    """Names of all registered Stage-2 algorithms."""
+    return sorted(_REGISTRY)

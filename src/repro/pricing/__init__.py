@@ -1,0 +1,40 @@
+"""Amazon EC2 pricing substrate (Section IV-A of the paper).
+
+Public surface:
+
+* :class:`InstanceType` and :data:`EC2_CATALOG` -- the c3 family with
+  the 2014 On-Demand prices and documented bandwidth caps;
+* cost functions :class:`LinearVMCost`, :class:`LinearBandwidthCost`,
+  :class:`TieredBandwidthCost`, :class:`FreeBandwidthCost`;
+* :class:`PricingPlan` / :func:`paper_plan` binding everything to a
+  billing period.
+"""
+
+from .costs import (
+    GB,
+    BandwidthCostFunction,
+    FreeBandwidthCost,
+    LinearBandwidthCost,
+    LinearVMCost,
+    TieredBandwidthCost,
+    VMCostFunction,
+)
+from .instances import EC2_CATALOG, InstanceType, get_instance, mbps_to_bytes_per_hour
+from .plan import TRACE_PERIOD_HOURS, PricingPlan, paper_plan
+
+__all__ = [
+    "GB",
+    "BandwidthCostFunction",
+    "FreeBandwidthCost",
+    "LinearBandwidthCost",
+    "LinearVMCost",
+    "TieredBandwidthCost",
+    "VMCostFunction",
+    "EC2_CATALOG",
+    "InstanceType",
+    "get_instance",
+    "mbps_to_bytes_per_hour",
+    "TRACE_PERIOD_HOURS",
+    "PricingPlan",
+    "paper_plan",
+]

@@ -1,0 +1,144 @@
+"""Cost functions ``C1`` (VM rental) and ``C2`` (bandwidth).
+
+The paper abstracts the IaaS bill into two monotone functions:
+
+* ``C1(|B|)`` -- the price of renting ``|B|`` VMs for the billing
+  period;
+* ``C2(total bandwidth)`` -- the price of the bytes moved in and out of
+  the cloud.  The paper simplifies real pricing by charging incoming
+  and outgoing traffic at the same $0.12/GB rate (Section II-B).
+
+Both are modelled as small callable objects so the optimizer (Stage 2's
+``CheaperToDistribute``) can evaluate *hypothetical* bills cheaply, and
+so experiments can swap in tiered or free variants.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Protocol, Sequence, Tuple
+
+__all__ = [
+    "VMCostFunction",
+    "BandwidthCostFunction",
+    "LinearVMCost",
+    "LinearBandwidthCost",
+    "TieredBandwidthCost",
+    "FreeBandwidthCost",
+    "GB",
+]
+
+GB = 1e9
+"""Bytes per gigabyte (decimal, as billed by AWS)."""
+
+
+class VMCostFunction(Protocol):
+    """``C1``: price of a number of VMs for the billing period."""
+
+    def __call__(self, num_vms: int) -> float:  # pragma: no cover - protocol
+        ...
+
+
+class BandwidthCostFunction(Protocol):
+    """``C2``: price of a total byte volume over the billing period."""
+
+    def __call__(self, total_bytes: float) -> float:  # pragma: no cover - protocol
+        ...
+
+
+@dataclass(frozen=True)
+class LinearVMCost:
+    """``C1(x) = x * price_per_vm`` -- the paper's VM cost model."""
+
+    price_per_vm: float
+
+    def __post_init__(self) -> None:
+        if self.price_per_vm < 0:
+            raise ValueError("price_per_vm must be non-negative")
+
+    def __call__(self, num_vms: int) -> float:
+        if num_vms < 0:
+            raise ValueError("num_vms must be non-negative")
+        return self.price_per_vm * num_vms
+
+
+@dataclass(frozen=True)
+class LinearBandwidthCost:
+    """``C2(bytes) = bytes/GB * usd_per_gb`` -- the paper's $0.12/GB model."""
+
+    usd_per_gb: float = 0.12
+
+    def __post_init__(self) -> None:
+        if self.usd_per_gb < 0:
+            raise ValueError("usd_per_gb must be non-negative")
+
+    def __call__(self, total_bytes: float) -> float:
+        if total_bytes < 0:
+            raise ValueError("total_bytes must be non-negative")
+        return total_bytes / GB * self.usd_per_gb
+
+
+@dataclass(frozen=True)
+class FreeBandwidthCost:
+    """``C2(x) = 0`` -- used by the NP-hardness reduction (Section II-D)."""
+
+    def __call__(self, total_bytes: float) -> float:
+        if total_bytes < 0:
+            raise ValueError("total_bytes must be non-negative")
+        return 0.0
+
+
+class TieredBandwidthCost:
+    """Real EC2 data-transfer pricing: marginal price drops with volume.
+
+    The paper flattens this to $0.12/GB; we keep the tiered schedule as
+    an ablation (DESIGN.md Section 6) to check that the flattening does
+    not change which algorithm wins.
+
+    ``tiers`` is a sequence of ``(upper_bound_gb, usd_per_gb)`` with the
+    last bound ``inf``; e.g. the 2014 schedule::
+
+        TieredBandwidthCost([(10240, 0.12), (40960, 0.09),
+                             (102400, 0.07), (float("inf"), 0.05)])
+    """
+
+    DEFAULT_TIERS: Sequence[Tuple[float, float]] = (
+        (10240.0, 0.12),
+        (40960.0, 0.09),
+        (102400.0, 0.07),
+        (float("inf"), 0.05),
+    )
+
+    def __init__(self, tiers: Sequence[Tuple[float, float]] = DEFAULT_TIERS) -> None:
+        if not tiers:
+            raise ValueError("at least one tier is required")
+        previous = 0.0
+        for bound, price in tiers:
+            if bound <= previous:
+                raise ValueError("tier bounds must be strictly increasing")
+            if price < 0:
+                raise ValueError("tier prices must be non-negative")
+            previous = bound
+        if tiers[-1][0] != float("inf"):
+            raise ValueError("last tier bound must be inf")
+        self._tiers: List[Tuple[float, float]] = [
+            (float(b), float(p)) for b, p in tiers
+        ]
+
+    def __call__(self, total_bytes: float) -> float:
+        if total_bytes < 0:
+            raise ValueError("total_bytes must be non-negative")
+        remaining_gb = total_bytes / GB
+        cost = 0.0
+        lower = 0.0
+        for bound, price in self._tiers:
+            span = min(remaining_gb, bound - lower)
+            if span <= 0:
+                break
+            cost += span * price
+            remaining_gb -= span
+            lower = bound
+        return cost
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"TieredBandwidthCost(tiers={self._tiers!r})"

@@ -1,0 +1,35 @@
+"""Stage 1 of the MCSS heuristic: topic-subscriber pair selection.
+
+Algorithms (Section III-A / Appendix A of the paper):
+
+* :class:`GreedySelectPairs` (``"gsp"``) -- the paper's benefit-cost
+  greedy, in an equivalent O(k log k) form;
+* :class:`ReferenceGreedySelectPairs` (``"gsp-reference"``) -- literal
+  Algorithm 2, used as the executable specification in tests;
+* :class:`RandomSelectPairs` (``"rsp"``) -- the naive baseline;
+* :class:`KnapsackSelectPairs` (``"knapsack"``) -- per-subscriber
+  optimal DP (the "optimal but too costly" option the paper mentions).
+"""
+
+from .base import (
+    SelectionAlgorithm,
+    available_selectors,
+    get_selector,
+    register_selector,
+)
+from .greedy import GreedySelectPairs, ReferenceGreedySelectPairs, benefit_cost_ratio
+from .knapsack import KnapsackSelectPairs, min_cover_subset
+from .random_ import RandomSelectPairs
+
+__all__ = [
+    "SelectionAlgorithm",
+    "available_selectors",
+    "get_selector",
+    "register_selector",
+    "GreedySelectPairs",
+    "ReferenceGreedySelectPairs",
+    "benefit_cost_ratio",
+    "KnapsackSelectPairs",
+    "min_cover_subset",
+    "RandomSelectPairs",
+]

@@ -1,0 +1,65 @@
+"""Common interface for Stage-1 pair-selection algorithms.
+
+Stage 1 (Section III-A) answers: *which topic-subscriber pairs should
+the deployment serve at all?*  The output must satisfy every subscriber
+when hosted on a hypothetical infinite-capacity VM; the quality metric
+is the total bandwidth the selection implies.
+
+All selection algorithms implement :class:`SelectionAlgorithm` and are
+discoverable through :func:`get_selector` so the experiment harness can
+sweep them by name.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from typing import Callable, Dict, List, Type
+
+from ..core import MCSSProblem, PairSelection
+
+__all__ = ["SelectionAlgorithm", "register_selector", "get_selector", "available_selectors"]
+
+
+class SelectionAlgorithm(ABC):
+    """A Stage-1 algorithm: choose pairs that satisfy every subscriber."""
+
+    #: Short name used in experiment tables and the CLI.
+    name: str = "abstract"
+
+    @abstractmethod
+    def select(self, problem: MCSSProblem) -> PairSelection:
+        """Return a pair set meeting ``tau_v`` for every subscriber."""
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"{type(self).__name__}()"
+
+
+_REGISTRY: Dict[str, Callable[[], SelectionAlgorithm]] = {}
+
+
+def register_selector(name: str) -> Callable[[Type[SelectionAlgorithm]], Type[SelectionAlgorithm]]:
+    """Class decorator registering a selector under ``name``."""
+
+    def decorate(cls: Type[SelectionAlgorithm]) -> Type[SelectionAlgorithm]:
+        if name in _REGISTRY:
+            raise ValueError(f"selector {name!r} already registered")
+        cls.name = name
+        _REGISTRY[name] = cls
+        return cls
+
+    return decorate
+
+
+def get_selector(name: str, **kwargs) -> SelectionAlgorithm:
+    """Instantiate a registered selector by name."""
+    try:
+        factory = _REGISTRY[name]
+    except KeyError:
+        known = ", ".join(sorted(_REGISTRY))
+        raise KeyError(f"unknown selector {name!r}; known: {known}") from None
+    return factory(**kwargs)
+
+
+def available_selectors() -> List[str]:
+    """Names of all registered Stage-1 algorithms."""
+    return sorted(_REGISTRY)

@@ -1,0 +1,169 @@
+"""GreedySelectPairs (GSP) -- Algorithms 1 and 2 of the paper.
+
+For every subscriber ``v`` the algorithm repeatedly picks the pair
+``(t, v)`` with the best *benefit-cost ratio*
+
+    h(t, v) = min(1, ev_t / rem_v) / (2 * ev_t)
+
+where ``rem_v`` is the event rate still missing towards ``tau_v``
+(Algorithm 1).  The ``2 * ev_t`` denominator is the bandwidth price of
+the pair: one incoming plus one outgoing copy per event.
+
+Two implementations are provided:
+
+* :class:`GreedySelectPairs` -- an O(k log k)-per-subscriber rewrite
+  that exploits the structure of the ratio (see below).  This is the
+  default used by experiments.
+* :class:`ReferenceGreedySelectPairs` -- a literal transcription of
+  Algorithm 2 (recomputing the ratio array after every pick, O(k^2)).
+  It exists as an executable specification: the test suite asserts the
+  fast version selects exactly the same pairs.
+
+Why the rewrite is equivalent
+-----------------------------
+While ``rem_v > 0``, every candidate topic with ``ev_t <= rem_v`` has
+ratio ``(ev_t / rem_v) / (2 ev_t) = 1 / (2 rem_v)`` -- the *same* value
+-- and every topic with ``ev_t > rem_v`` has the strictly smaller ratio
+``1 / (2 ev_t)``.  Hence the greedy picks (a) any not-yet-exceeding
+topic while one exists, and only then (b) the *smallest-rate* exceeding
+topic.  Breaking ties in (a) towards the largest rate fills the
+threshold fastest and leaves the least overshoot, so both
+implementations use that tie-break; the whole schedule then collapses
+into one descending sweep over the subscriber's topics.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List
+
+import numpy as np
+
+from ..core import MCSSProblem, PairSelection
+from .base import SelectionAlgorithm, register_selector
+
+__all__ = ["GreedySelectPairs", "ReferenceGreedySelectPairs", "benefit_cost_ratio"]
+
+_EPS = 1e-12
+
+
+def benefit_cost_ratio(event_rate: float, remaining: float) -> float:
+    """Algorithm 1: heuristic value of a pair given the remaining need.
+
+    Returns 0 when the subscriber is already satisfied (``remaining <=
+    0``); otherwise ``min(1, ev_t/rem) / (2 ev_t)``.
+
+    Computed in the algebraically simplified piecewise form -- ``1 /
+    (2 rem)`` when the topic fits, ``1 / (2 ev_t)`` when it exceeds --
+    because the naive ``min(1, ev/rem) / (2 ev)`` expression evaluates
+    mathematically *equal* ratios to different floats (e.g. ``0.6/12``
+    vs ``0.7/14``), which would let rounding noise, not the documented
+    tie-break, decide the argmax in Algorithm 2.
+    """
+    if event_rate <= 0:
+        raise ValueError("event rate must be positive")
+    if remaining <= 0:
+        return 0.0
+    if event_rate <= remaining:
+        return 1.0 / (2.0 * remaining)
+    return 1.0 / (2.0 * event_rate)
+
+
+@register_selector("gsp")
+class GreedySelectPairs(SelectionAlgorithm):
+    """Fast GSP: one descending sweep per subscriber (see module doc)."""
+
+    def select(self, problem: MCSSProblem) -> PairSelection:
+        workload = problem.workload
+        rates = workload.event_rates
+        tau = float(problem.tau)
+        by_topic: Dict[int, List[int]] = {}
+
+        for v in range(workload.num_subscribers):
+            interest = workload.interest(v)
+            if interest.size == 0:
+                continue
+            topic_rates = rates[interest]
+            tau_v = min(tau, float(topic_rates.sum()))
+            if tau_v <= 0:
+                continue
+            # Descending by rate; ties by topic id for determinism.
+            order = np.lexsort((interest, -topic_rates))
+            sorted_topics = interest[order].tolist()
+            sorted_rates = topic_rates[order].tolist()
+
+            remaining = tau_v
+            chosen: List[int] = []
+            best_skip_topic = -1  # smallest-rate (then smallest-id) skip
+            best_skip_rate = float("inf")
+            for i, rate in enumerate(sorted_rates):
+                if remaining <= _EPS:
+                    break
+                if rate <= remaining + _EPS:
+                    chosen.append(sorted_topics[i])
+                    remaining -= rate
+                elif rate < best_skip_rate:
+                    # The sweep is rate-descending with ascending ids
+                    # inside equal-rate runs, so a strict "<" keeps the
+                    # smallest id of the smallest skipped rate.
+                    best_skip_rate = rate
+                    best_skip_topic = sorted_topics[i]
+            if remaining > _EPS:
+                # Every leftover topic exceeds the need; Algorithm 1
+                # penalizes overshoot by 1/(2 ev_t), so take the
+                # smallest-rate skipped topic.
+                chosen.append(best_skip_topic)
+
+            for t in chosen:
+                by_topic.setdefault(t, []).append(v)
+
+        return PairSelection(by_topic)
+
+
+@register_selector("gsp-reference")
+class ReferenceGreedySelectPairs(SelectionAlgorithm):
+    """Literal Algorithm 2: argmax over a ratio array, re-scored each pick.
+
+    O(k^2) per subscriber -- use only on small workloads (its role is to
+    pin down the semantics the fast version must match).
+    """
+
+    def select(self, problem: MCSSProblem) -> PairSelection:
+        workload = problem.workload
+        rates = workload.event_rates
+        tau = float(problem.tau)
+        by_topic: Dict[int, List[int]] = {}
+
+        for v in range(workload.num_subscribers):
+            interest = workload.interest(v).tolist()
+            if not interest:
+                continue
+            topic_rates = {t: float(rates[t]) for t in interest}
+            tau_v = min(tau, sum(topic_rates.values()))
+            if tau_v <= 0:
+                continue
+
+            selected: List[int] = []
+            selected_rate = 0.0
+            candidates = set(interest)
+            # Lines 5-11 of Algorithm 2: keep picking the argmax ratio
+            # until the threshold is met.
+            while selected_rate < tau_v - _EPS:
+                remaining = tau_v - selected_rate
+                best_t = -1
+                best_key = (-1.0, -1.0, 0.0)
+                for t in candidates:
+                    ratio = benefit_cost_ratio(topic_rates[t], remaining)
+                    # Tie-break: larger rate first, then smaller id --
+                    # must match GreedySelectPairs exactly.
+                    key = (ratio, topic_rates[t], -t)
+                    if key > best_key:
+                        best_key = key
+                        best_t = t
+                selected.append(best_t)
+                selected_rate += topic_rates[best_t]
+                candidates.discard(best_t)
+
+            for t in selected:
+                by_topic.setdefault(t, []).append(v)
+
+        return PairSelection(by_topic)

@@ -1,0 +1,120 @@
+"""Exact per-subscriber selection via dynamic programming.
+
+Section III-A notes that for one subscriber, picking the cheapest topic
+subset whose rate sum reaches ``tau_v`` "is basically a variant of the
+knapsack problem that can be solved optimally using dynamic
+programming", but dismisses it as too slow at the paper's scale and
+uses the greedy heuristic instead.  We implement the DP anyway:
+
+* it quantifies how far GSP is from per-subscriber optimality (the
+  Stage-1 ablation bench), and
+* on small fuzzed instances the property tests assert
+  ``cost(DP) <= cost(GSP)`` pairwise.
+
+Formulation (min-cost covering knapsack, per subscriber ``v``)::
+
+    minimize   sum_{t in X} ev_t          over X subseteq Tv
+    subject to sum_{t in X} ev_t >= tau_v
+
+(The bandwidth price of a pair is ``2 ev_t``, a constant multiple, so
+minimizing the rate sum is equivalent.)  Rates are scaled to integers
+with ``resolution``; the DP table has ``ceil(tau_v / resolution) + 1``
+cells, giving O(|Tv| * tau_v / resolution) time per subscriber.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Dict, List
+
+import numpy as np
+
+from ..core import MCSSProblem, PairSelection
+from .base import SelectionAlgorithm, register_selector
+
+__all__ = ["KnapsackSelectPairs", "min_cover_subset"]
+
+
+def min_cover_subset(rates: List[float], need: float, resolution: float = 1.0) -> List[int]:
+    """Indices of a min-sum subset of ``rates`` whose sum covers ``need``.
+
+    Exact when every rate and ``need`` are integer multiples of
+    ``resolution``; otherwise the quantization (ceil for the target,
+    floor for items) keeps the result feasible but possibly slightly
+    conservative.  Raises ``ValueError`` when even the full set cannot
+    cover ``need``.
+    """
+    if need <= 0:
+        return []
+    if resolution <= 0:
+        raise ValueError("resolution must be positive")
+    total = sum(rates)
+    if total < need - 1e-9:
+        raise ValueError(f"rates sum to {total}, cannot cover {need}")
+
+    # The item's cost *is* its weight (both are ev_t), so "cheapest
+    # subset covering `need`" is exactly "smallest achievable subset
+    # sum >= need" -- a subset-sum sweep on a bitset, with per-prefix
+    # snapshots for reconstruction.  A minimal covering subset has sum
+    # < target + max weight (dropping any item would fall below the
+    # target), so the bitset is capped there.
+    target = int(math.ceil(need / resolution - 1e-9))
+    weights = [max(1, int(rate / resolution + 1e-9)) for rate in rates]
+    cap = target + max(weights) + 1
+    mask = (1 << cap) - 1
+
+    prefixes: List[int] = [1]  # bit s set <=> sum s achievable
+    reachable = 1
+    for w in weights:
+        reachable = (reachable | (reachable << w)) & mask
+        prefixes.append(reachable)
+
+    tail = reachable >> target
+    if tail == 0:  # pragma: no cover - excluded by the sum check
+        raise ValueError("DP failed to cover the target")
+    best = target + (tail & -tail).bit_length() - 1
+
+    picked: List[int] = []
+    s = best
+    for i in range(len(weights) - 1, -1, -1):
+        if (prefixes[i] >> s) & 1:
+            continue  # sum s achievable without item i
+        picked.append(i)
+        s -= weights[i]
+    picked.reverse()
+    return picked
+
+
+@register_selector("knapsack")
+class KnapsackSelectPairs(SelectionAlgorithm):
+    """Per-subscriber-optimal Stage-1 selection (slow; for ablations).
+
+    ``resolution`` trades accuracy for speed on non-integer rates; the
+    paper's traces use integer event counts, where ``resolution=1`` is
+    exact.
+    """
+
+    def __init__(self, resolution: float = 1.0) -> None:
+        if resolution <= 0:
+            raise ValueError("resolution must be positive")
+        self._resolution = resolution
+
+    def select(self, problem: MCSSProblem) -> PairSelection:
+        workload = problem.workload
+        rates = workload.event_rates
+        tau = float(problem.tau)
+        by_topic: Dict[int, List[int]] = {}
+
+        for v in range(workload.num_subscribers):
+            interest = workload.interest(v)
+            if interest.size == 0:
+                continue
+            topic_rates = rates[interest].tolist()
+            tau_v = min(tau, sum(topic_rates))
+            if tau_v <= 0:
+                continue
+            picked = min_cover_subset(topic_rates, tau_v, self._resolution)
+            for i in picked:
+                by_topic.setdefault(int(interest[i]), []).append(v)
+
+        return PairSelection(by_topic)

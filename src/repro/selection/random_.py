@@ -1,0 +1,63 @@
+"""RandomSelectPairs (RSP) -- Algorithm 6, the naive Stage-1 baseline.
+
+For each subscriber the algorithm grabs pairs "in no particular order"
+until the satisfaction threshold ``tau_v`` is reached.  It makes no
+attempt to minimize bandwidth, which is precisely why the paper uses it
+as the baseline that GSP beats by up to 71% (Twitter) / 33% (Spotify).
+
+Determinism: by default pairs are taken in the stored interest-list
+order (matching "the first obtained pairs" of Appendix A).  Passing a
+``seed`` shuffles each subscriber's interest first, which models an
+adversarial "no particular order" and is useful for variance studies.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional
+
+import numpy as np
+
+from ..core import MCSSProblem, PairSelection
+from .base import SelectionAlgorithm, register_selector
+
+__all__ = ["RandomSelectPairs"]
+
+_EPS = 1e-12
+
+
+@register_selector("rsp")
+class RandomSelectPairs(SelectionAlgorithm):
+    """Naive pair selection: accumulate pairs until ``tau_v`` is met."""
+
+    def __init__(self, seed: Optional[int] = None) -> None:
+        self._seed = seed
+
+    def select(self, problem: MCSSProblem) -> PairSelection:
+        workload = problem.workload
+        rates = workload.event_rates
+        tau = float(problem.tau)
+        rng = np.random.default_rng(self._seed) if self._seed is not None else None
+        by_topic: Dict[int, List[int]] = {}
+
+        for v in range(workload.num_subscribers):
+            interest = workload.interest(v)
+            if interest.size == 0:
+                continue
+            topic_rates = rates[interest]
+            tau_v = min(tau, float(topic_rates.sum()))
+            if tau_v <= 0:
+                continue
+            order = (
+                rng.permutation(interest.size)
+                if rng is not None
+                else range(interest.size)
+            )
+            got = 0.0
+            for i in order:
+                t = int(interest[i])
+                by_topic.setdefault(t, []).append(v)
+                got += float(topic_rates[i])
+                if got >= tau_v - _EPS:
+                    break
+
+        return PairSelection(by_topic)

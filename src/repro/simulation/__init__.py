@@ -1,0 +1,5 @@
+"""Deployment substrate: discrete-event replay of placements."""
+
+from .engine import DeploymentReport, SimulationConfig, VMMeter, simulate_placement
+
+__all__ = ["DeploymentReport", "SimulationConfig", "VMMeter", "simulate_placement"]

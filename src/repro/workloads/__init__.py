@@ -1,0 +1,58 @@
+"""Trace substrate: synthetic workload generators and trace I/O.
+
+The paper's real traces (Spotify internal, Twitter from a dead link)
+are unavailable; :class:`SpotifyWorkloadGenerator` and
+:class:`TwitterWorkloadGenerator` reproduce their published statistical
+shape at configurable scale (see DESIGN.md, "Substitutions").
+:func:`zipf_workload` / :func:`uniform_workload` are simple parametric
+workloads for tests and ablations.
+"""
+
+from .distributions import (
+    glitched_following_counts,
+    lognormal_rates,
+    truncated_power_law,
+)
+from .io import (
+    load_workload,
+    load_workload_csv,
+    save_workload,
+    save_workload_csv,
+)
+from .sampling import sample_subscribers
+from .social import SocialGraph, build_social_graph, generate_social_workload
+from .spotify import SpotifyConfig, SpotifyWorkloadGenerator
+from .synthetic import uniform_workload, zipf_workload
+from .trace import GeneratedTrace
+from .transforms import (
+    filter_topics_by_rate,
+    merge_workloads,
+    scale_rates,
+    top_subscribers,
+)
+from .twitter import TwitterConfig, TwitterWorkloadGenerator
+
+__all__ = [
+    "glitched_following_counts",
+    "lognormal_rates",
+    "truncated_power_law",
+    "load_workload",
+    "load_workload_csv",
+    "save_workload",
+    "save_workload_csv",
+    "sample_subscribers",
+    "SocialGraph",
+    "build_social_graph",
+    "generate_social_workload",
+    "SpotifyConfig",
+    "SpotifyWorkloadGenerator",
+    "uniform_workload",
+    "zipf_workload",
+    "GeneratedTrace",
+    "filter_topics_by_rate",
+    "merge_workloads",
+    "scale_rates",
+    "top_subscribers",
+    "TwitterConfig",
+    "TwitterWorkloadGenerator",
+]

@@ -1,0 +1,122 @@
+"""Workload (de)serialization.
+
+Two formats:
+
+* ``.npz`` (:func:`save_workload` / :func:`load_workload`) -- compact
+  binary: event rates, a flattened interest array with offsets (the
+  standard CSR trick), and the message size.  The native format.
+* CSV pair lists (:func:`save_workload_csv` /
+  :func:`load_workload_csv`) -- the interchange format external traces
+  usually arrive in: one ``topic,subscriber`` pair per line plus a
+  ``topic,rate`` side file, mirroring how the paper's Twitter tarball
+  was laid out.
+"""
+
+from __future__ import annotations
+
+import csv
+import os
+from typing import Dict, List, Tuple, Union
+
+import numpy as np
+
+from ..core import Workload, build_workload
+
+__all__ = [
+    "save_workload",
+    "load_workload",
+    "save_workload_csv",
+    "load_workload_csv",
+]
+
+_FORMAT_VERSION = 1
+
+
+def save_workload(workload: Workload, path: Union[str, os.PathLike]) -> None:
+    """Write a workload to ``path`` (``.npz`` appended if missing)."""
+    offsets = np.zeros(workload.num_subscribers + 1, dtype=np.int64)
+    chunks = []
+    for v in range(workload.num_subscribers):
+        interest = workload.interest(v)
+        offsets[v + 1] = offsets[v] + interest.size
+        chunks.append(interest)
+    flat = (
+        np.concatenate(chunks) if chunks else np.empty(0, dtype=np.int64)
+    )
+    np.savez_compressed(
+        path,
+        version=np.int64(_FORMAT_VERSION),
+        event_rates=workload.event_rates,
+        interest_offsets=offsets,
+        interest_topics=flat,
+        message_size_bytes=np.float64(workload.message_size_bytes),
+    )
+
+
+def load_workload(path: Union[str, os.PathLike]) -> Workload:
+    """Read a workload previously written by :func:`save_workload`."""
+    with np.load(path) as data:
+        version = int(data["version"])
+        if version != _FORMAT_VERSION:
+            raise ValueError(f"unsupported workload format version {version}")
+        rates = data["event_rates"]
+        offsets = data["interest_offsets"]
+        flat = data["interest_topics"]
+        message_size = float(data["message_size_bytes"])
+
+    interests = [
+        flat[offsets[v] : offsets[v + 1]] for v in range(offsets.size - 1)
+    ]
+    return Workload(rates, interests, message_size_bytes=message_size)
+
+
+def save_workload_csv(
+    workload: Workload,
+    pairs_path: Union[str, os.PathLike],
+    rates_path: Union[str, os.PathLike],
+) -> None:
+    """Write the pair list and the topic-rate table as CSV files.
+
+    ``pairs_path`` gets ``topic,subscriber`` rows; ``rates_path`` gets
+    ``topic,rate`` rows.  Message size is not representable in this
+    interchange format -- the loader takes it as a parameter.
+    """
+    with open(pairs_path, "w", newline="") as fh:
+        writer = csv.writer(fh)
+        writer.writerow(["topic", "subscriber"])
+        for v in range(workload.num_subscribers):
+            for t in workload.interest(v).tolist():
+                writer.writerow([t, v])
+    with open(rates_path, "w", newline="") as fh:
+        writer = csv.writer(fh)
+        writer.writerow(["topic", "rate"])
+        for t in range(workload.num_topics):
+            writer.writerow([t, workload.event_rate(t)])
+
+
+def load_workload_csv(
+    pairs_path: Union[str, os.PathLike],
+    rates_path: Union[str, os.PathLike],
+    message_size_bytes: float = 200.0,
+) -> Workload:
+    """Read a workload from the CSV interchange format.
+
+    Topic/subscriber ids may be arbitrary non-negative integers; they
+    are compacted like :func:`repro.core.build_workload` does.  Pairs
+    referencing topics missing from the rate table raise.
+    """
+    rates: Dict[int, float] = {}
+    with open(rates_path, newline="") as fh:
+        reader = csv.DictReader(fh)
+        for row in reader:
+            rates[int(row["topic"])] = float(row["rate"])
+    subscriptions: Dict[int, List[int]] = {}
+    with open(pairs_path, newline="") as fh:
+        reader = csv.DictReader(fh)
+        for row in reader:
+            subscriptions.setdefault(int(row["subscriber"]), []).append(
+                int(row["topic"])
+            )
+    return build_workload(
+        subscriptions, rates, message_size_bytes=message_size_bytes
+    )

@@ -1,0 +1,174 @@
+"""Generic social-interaction workload builder.
+
+Both traces the paper evaluates on (Spotify, Twitter) share one shape:
+*users are both topics and subscribers* -- a user is a topic if someone
+follows her, and a subscriber if she follows someone (Section II-A).
+:func:`generate_social_workload` builds such a workload from three
+ingredients:
+
+1. a **following-count** sampler (how many users each user follows);
+2. a **popularity weight** per user (how likely a user is to be
+   followed -- heavy-tailed weights produce the heavy-tailed follower
+   CCDF of Fig. 8);
+3. a **rate model** mapping a user's follower count to her event count
+   for the trace period (capturing Fig. 10's "more followers, more
+   events ... until the celebrity cloud").
+
+Only *active* users (>= 1 event in the period) with >= 1 follower
+become topics, mirroring the paper's preprocessing of the Twitter data;
+pairs pointing at inactive users are dropped, and users left with no
+followings drop out of the subscriber set.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, List, Optional, Tuple
+
+import numpy as np
+
+from ..core import Workload
+
+__all__ = ["SocialGraph", "generate_social_workload", "build_social_graph"]
+
+RateModel = Callable[[np.ndarray, np.random.Generator], np.ndarray]
+"""Maps per-user follower counts to integer event counts."""
+
+
+@dataclass(frozen=True)
+class SocialGraph:
+    """The raw follower graph behind a workload (kept for Figs. 8-12).
+
+    ``followings[u]`` lists the users ``u`` follows; ``follower_counts``
+    and ``event_counts`` are per-user.  The companion
+    :class:`~repro.core.workload.Workload` compacts this to active
+    topics only; trace-analysis figures want the uncompacted view.
+    """
+
+    followings: Tuple[np.ndarray, ...]
+    follower_counts: np.ndarray
+    event_counts: np.ndarray
+
+    @property
+    def num_users(self) -> int:
+        """Total number of users in the graph."""
+        return len(self.followings)
+
+    def following_counts(self) -> np.ndarray:
+        """Out-degree (number of followings) per user."""
+        return np.asarray([f.size for f in self.followings], dtype=np.int64)
+
+
+def build_social_graph(
+    num_users: int,
+    rng: np.random.Generator,
+    following_counts: np.ndarray,
+    popularity_weights: np.ndarray,
+    rate_model: RateModel,
+) -> SocialGraph:
+    """Materialize the follower graph via weighted attachment.
+
+    Every user draws her followings i.i.d. from the popularity
+    distribution (duplicates and self-follows removed), so a user's
+    expected follower count is proportional to her weight.
+    """
+    if num_users <= 1:
+        raise ValueError("need at least two users")
+    if len(following_counts) != num_users or len(popularity_weights) != num_users:
+        raise ValueError("per-user arrays must have length num_users")
+    if popularity_weights.min() < 0 or popularity_weights.sum() <= 0:
+        raise ValueError("popularity weights must be non-negative, not all zero")
+
+    counts = np.clip(np.asarray(following_counts, dtype=np.int64), 0, num_users - 1)
+    probs = np.asarray(popularity_weights, dtype=np.float64)
+    probs = probs / probs.sum()
+
+    # One global draw for all edges, then slice per user: much faster
+    # than per-user weighted sampling.  Duplicate draws (frequent when
+    # the popularity weights are heavy) are topped up in a few extra
+    # global rounds so each user ends with her *declared* out-degree --
+    # otherwise the distribution anomalies at 20/2000 followings
+    # (Appendix D) would smear away during deduplication.
+    total_edges = int(counts.sum())
+    targets = rng.choice(num_users, size=total_edges, p=probs)
+
+    picks_by_user: List[np.ndarray] = []
+    offset = 0
+    for u in range(num_users):
+        k = int(counts[u])
+        picks = np.unique(targets[offset : offset + k])
+        offset += k
+        picks_by_user.append(picks[picks != u])
+
+    for _round in range(6):
+        deficits = [
+            int(counts[u]) - picks_by_user[u].size for u in range(num_users)
+        ]
+        total_deficit = sum(max(0, d) for d in deficits)
+        if total_deficit == 0:
+            break
+        pool = rng.choice(num_users, size=2 * total_deficit, p=probs)
+        offset = 0
+        for u, deficit in enumerate(deficits):
+            if deficit <= 0:
+                continue
+            extra = pool[offset : offset + 2 * deficit]
+            offset += 2 * deficit
+            merged = np.unique(np.concatenate([picks_by_user[u], extra]))
+            merged = merged[merged != u]
+            # Trim any overshoot to keep the declared out-degree exact.
+            if merged.size > counts[u]:
+                surplus = np.setdiff1d(merged, picks_by_user[u])
+                keep = counts[u] - picks_by_user[u].size
+                merged = np.sort(
+                    np.concatenate([picks_by_user[u], surplus[:keep]])
+                )
+            picks_by_user[u] = merged
+
+    followings: List[np.ndarray] = []
+    follower_counts = np.zeros(num_users, dtype=np.int64)
+    for picks in picks_by_user:
+        picks.setflags(write=False)
+        followings.append(picks)
+        follower_counts[picks] += 1
+
+    event_counts = np.asarray(rate_model(follower_counts, rng), dtype=np.int64)
+    if event_counts.shape != (num_users,):
+        raise ValueError("rate model must return one count per user")
+    if event_counts.min() < 0:
+        raise ValueError("rate model produced negative event counts")
+
+    return SocialGraph(
+        followings=tuple(followings),
+        follower_counts=follower_counts,
+        event_counts=event_counts,
+    )
+
+
+def generate_social_workload(
+    graph: SocialGraph,
+    message_size_bytes: float = 200.0,
+) -> Workload:
+    """Compact a social graph into a :class:`Workload`.
+
+    Topics are the *active* users (>= 1 event and >= 1 follower);
+    subscribers are the users still following at least one topic.
+    """
+    active = (graph.event_counts >= 1) & (graph.follower_counts >= 1)
+    topic_ids = np.flatnonzero(active)
+    topic_index = np.full(graph.num_users, -1, dtype=np.int64)
+    topic_index[topic_ids] = np.arange(topic_ids.size)
+
+    interests: List[np.ndarray] = []
+    for u in range(graph.num_users):
+        mapped = topic_index[graph.followings[u]]
+        mapped = mapped[mapped >= 0]
+        if mapped.size:
+            interests.append(np.sort(mapped))
+
+    rates = graph.event_counts[topic_ids].astype(np.float64)
+    return Workload(
+        event_rates=rates,
+        interests=interests,
+        message_size_bytes=message_size_bytes,
+    )

@@ -1,0 +1,121 @@
+"""Synthetic Spotify-like trace generator (Section IV-B).
+
+The real trace -- 10 days of music-playback notifications from
+Spotify's Stockholm data center, 1.1M topics / 4.9M subscribers / 12M
+pairs -- is proprietary.  Its published characteristics ([6] and
+Section IV) differ from Twitter's in ways that matter for MCSS:
+
+* interests are *small* (12M pairs / 4.9M subscribers ~ 2.4 topics per
+  subscriber: you follow a handful of friends and artists, not
+  thousands of accounts);
+* the follower distribution is far less skewed (no celebrity regime
+  comparable to Twitter's; the topic set is "users with >= 1
+  follower");
+* event rates are *activity* driven (music playback), only weakly
+  correlated with popularity, and almost every user generates some
+  events -- so per-pair rates are comparatively homogeneous.
+
+The milder skew is exactly why the paper's savings are smaller on
+Spotify (up to ~38%) than on Twitter (up to ~74%): with homogeneous
+rates there is less slack between a random pair choice and a clever
+one.  The generator keeps those contrasts; knobs live on
+:class:`SpotifyConfig`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+import numpy as np
+
+from .distributions import truncated_power_law
+from .social import build_social_graph, generate_social_workload
+from .trace import GeneratedTrace
+
+__all__ = ["SpotifyConfig", "SpotifyWorkloadGenerator"]
+
+
+@dataclass(frozen=True)
+class SpotifyConfig:
+    """Parameters of the Spotify-like generator.
+
+    Defaults are calibrated to the published per-user statistics: mean
+    interest ~2.4 topics, message size 200 bytes (the paper inflates
+    the measured 111-byte mean to 200 for comparability with Twitter),
+    and playback rates of a few hundred events per 10-day period.
+    """
+
+    num_users: int = 20_000
+    message_size_bytes: float = 200.0
+
+    # Interests: small and lightly skewed (mean ~2.5 after filtering,
+    # matching the paper's 12M pairs / 4.9M subscribers).
+    following_alpha: float = 2.3
+    max_following: int = 200
+
+    # Popularity: mildly heavy-tailed (friends + a few big artists);
+    # alpha calibrated so mean audience lands near the paper's ~11.
+    popularity_alpha: float = 1.8
+    artist_prob: float = 0.01
+    artist_boost: float = 25.0
+
+    # Rates: activity-driven playback events, far more homogeneous
+    # than Twitter's -- the reason the paper's savings are smaller on
+    # Spotify (see EXPERIMENTS.md for the calibration record).
+    mean_rate: float = 500.0
+    rate_sigma: float = 0.6
+    active_prob: float = 0.85
+
+
+class SpotifyWorkloadGenerator:
+    """Generate Spotify-like workloads; deterministic given a seed."""
+
+    name = "spotify"
+
+    def __init__(self, config: SpotifyConfig = SpotifyConfig()) -> None:
+        self.config = config
+
+    def generate(self, seed: Optional[int] = 0) -> GeneratedTrace:
+        """Draw a trace: the follower graph plus the compacted workload."""
+        cfg = self.config
+        rng = np.random.default_rng(seed)
+
+        following = truncated_power_law(
+            rng,
+            cfg.num_users,
+            cfg.following_alpha,
+            1.0,
+            float(min(cfg.max_following, cfg.num_users - 1)),
+        )
+
+        weights = truncated_power_law(
+            rng, cfg.num_users, cfg.popularity_alpha, 1.0, 1e4
+        ).astype(np.float64)
+        artists = rng.random(cfg.num_users) < cfg.artist_prob
+        weights[artists] *= cfg.artist_boost
+
+        graph = build_social_graph(
+            cfg.num_users,
+            rng,
+            following_counts=following,
+            popularity_weights=weights,
+            rate_model=self._rate_model,
+        )
+        workload = generate_social_workload(graph, cfg.message_size_bytes)
+        return GeneratedTrace(name=self.name, workload=workload, graph=graph, seed=seed)
+
+    # ------------------------------------------------------------------
+    def _rate_model(
+        self, follower_counts: np.ndarray, rng: np.random.Generator
+    ) -> np.ndarray:
+        """Playback-event counts: lognormal, independent of popularity."""
+        cfg = self.config
+        n = follower_counts.size
+        mu = np.log(cfg.mean_rate) - cfg.rate_sigma**2 / 2.0
+        counts = np.floor(
+            np.exp(mu + cfg.rate_sigma * rng.standard_normal(n))
+        ).astype(np.int64)
+        inactive = rng.random(n) >= cfg.active_prob
+        counts[inactive] = 0
+        return counts

@@ -1,0 +1,36 @@
+"""Generated trace bundle: a workload plus the social graph behind it.
+
+The optimization pipeline only needs the
+:class:`~repro.core.workload.Workload`; the trace-analysis figures
+(Figs. 8-12) need the *uncompacted* social graph (follower counts of
+inactive users included).  Generators return both, bundled.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+from ..core import Workload
+from .social import SocialGraph
+
+__all__ = ["GeneratedTrace"]
+
+
+@dataclass(frozen=True)
+class GeneratedTrace:
+    """One synthetic trace draw."""
+
+    name: str
+    workload: Workload
+    graph: SocialGraph
+    seed: Optional[int]
+
+    def describe(self) -> str:
+        """One-line summary for experiment logs."""
+        stats = self.workload.stats()
+        return (
+            f"{self.name}(seed={self.seed}): {stats.num_topics} topics, "
+            f"{stats.num_subscribers} subscribers, {stats.num_pairs} pairs, "
+            f"mean interest {stats.mean_interest_size:.1f}"
+        )

@@ -1,0 +1,105 @@
+"""Workload transforms: combine, filter, and reshape traces.
+
+Traces rarely arrive in exactly the shape an experiment needs.  These
+transforms cover the operations the paper's preprocessing performs
+(dropping inactive topics, sampling) and the ones a practitioner doing
+capacity planning reaches for (merging two applications onto one
+deployment, what-if rate scaling, slicing off the heavy hitters).
+
+All transforms return new :class:`~repro.core.workload.Workload`
+objects; nothing is mutated.
+"""
+
+from __future__ import annotations
+
+from typing import List, Sequence, Tuple
+
+import numpy as np
+
+from ..core import Workload
+
+__all__ = [
+    "merge_workloads",
+    "filter_topics_by_rate",
+    "scale_rates",
+    "top_subscribers",
+]
+
+
+def merge_workloads(first: Workload, second: Workload) -> Workload:
+    """Union of two workloads on one deployment.
+
+    Topic and subscriber populations are disjoint (the second
+    workload's ids are shifted), modeling two applications -- say, a
+    Spotify-like and a Twitter-like feed -- consolidated onto a single
+    broker fleet to share VM capacity.
+    """
+    if first.message_size_bytes != second.message_size_bytes:
+        raise ValueError(
+            "cannot merge workloads with different message sizes "
+            f"({first.message_size_bytes} vs {second.message_size_bytes})"
+        )
+    offset = first.num_topics
+    rates = np.concatenate([first.event_rates, second.event_rates])
+    interests: List[np.ndarray] = [
+        first.interest(v) for v in range(first.num_subscribers)
+    ]
+    interests += [
+        second.interest(v) + offset for v in range(second.num_subscribers)
+    ]
+    return Workload(rates, interests, message_size_bytes=first.message_size_bytes)
+
+
+def filter_topics_by_rate(
+    workload: Workload, min_rate: float = 1.0, max_rate: float = float("inf")
+) -> Workload:
+    """Keep topics with ``min_rate <= ev_t <= max_rate``.
+
+    Interests are remapped; subscribers left with empty interests stay
+    in the population (they become trivially satisfied), mirroring how
+    the paper drops inactive Twitter users' *topics* but keeps the
+    followers.  Raises if no topic survives.
+    """
+    if min_rate > max_rate:
+        raise ValueError("min_rate must not exceed max_rate")
+    rates = workload.event_rates
+    keep = np.flatnonzero((rates >= min_rate) & (rates <= max_rate))
+    if keep.size == 0:
+        raise ValueError("no topics survive the rate filter")
+    remap = np.full(workload.num_topics, -1, dtype=np.int64)
+    remap[keep] = np.arange(keep.size)
+    interests = []
+    for v in range(workload.num_subscribers):
+        mapped = remap[workload.interest(v)]
+        interests.append(np.sort(mapped[mapped >= 0]))
+    return Workload(
+        rates[keep], interests, message_size_bytes=workload.message_size_bytes
+    )
+
+
+def scale_rates(workload: Workload, factor: float) -> Workload:
+    """What-if scaling of every topic's event rate by ``factor``.
+
+    Used for growth planning ("what does the bill look like when
+    traffic doubles?"); rates stay strictly positive.
+    """
+    if factor <= 0:
+        raise ValueError("factor must be positive")
+    return Workload(
+        workload.event_rates * factor,
+        workload.interests,
+        message_size_bytes=workload.message_size_bytes,
+    )
+
+
+def top_subscribers(workload: Workload, count: int) -> Workload:
+    """Keep the ``count`` subscribers with the largest interest rate sums.
+
+    The heavy-reader slice -- useful for stress experiments, since
+    these subscribers pin the most pairs at high ``tau``.
+    """
+    if count <= 0:
+        raise ValueError("count must be positive")
+    sums = workload.interest_rate_sums()
+    order = np.argsort(-sums, kind="stable")[: min(count, workload.num_subscribers)]
+    return workload.restrict_subscribers(sorted(int(v) for v in order))

@@ -1,0 +1,127 @@
+"""Tests for the utilization-driven autoscaler."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.broker import BrokerCluster
+from repro.core import MCSSProblem, Workload
+from repro.dynamic import AutoscalePolicy, Autoscaler
+from repro.solver import MCSSSolver
+from tests.conftest import make_unit_plan
+
+
+def _cluster_with_manual_placement(capacity, assignments, rates, tau=10):
+    """Build a cluster from explicit (vm, topic, subscribers) triples."""
+    num_topics = len(rates)
+    num_subs = 1 + max(v for _b, _t, subs in assignments for v in subs)
+    interests = [[] for _ in range(num_subs)]
+    for _b, t, subs in assignments:
+        for v in subs:
+            if t not in interests[v]:
+                interests[v].append(t)
+    workload = Workload(rates, [sorted(i) for i in interests], message_size_bytes=1.0)
+    problem = MCSSProblem(workload, tau, make_unit_plan(capacity))
+    placement = problem.empty_placement()
+    vm_ids = {}
+    for b, t, subs in assignments:
+        if b not in vm_ids:
+            vm_ids[b] = placement.new_vm()
+        placement.assign(vm_ids[b], t, subs)
+    return problem, BrokerCluster(problem, placement)
+
+
+class TestPolicy:
+    def test_valid_band(self):
+        AutoscalePolicy(0.9, 0.3, 0.75)
+
+    def test_invalid_bands(self):
+        with pytest.raises(ValueError):
+            AutoscalePolicy(scale_up_threshold=0.3, scale_down_threshold=0.9)
+        with pytest.raises(ValueError):
+            AutoscalePolicy(0.9, 0.3, target_utilization=0.95)
+
+
+class TestAutoscaler:
+    def test_idle_fleet_untouched(self, small_zipf):
+        problem = MCSSProblem(small_zipf, 100, make_unit_plan(5e7))
+        solution = MCSSSolver.paper().solve(problem)
+        cluster = BrokerCluster(problem, solution.placement)
+        # Thresholds far outside the fleet's utilization band: no-op.
+        scaler = Autoscaler(cluster, AutoscalePolicy(0.999, 0.0001, 0.5))
+        report = scaler.run_once()
+        assert report.moves == 0
+        assert report.nodes_drained == 0
+
+    def test_hot_node_cooled(self):
+        # VM0 packed to ~96% (two topics), VM1 nearly empty.
+        problem, cluster = _cluster_with_manual_placement(
+            capacity=100.0,
+            assignments=[
+                (0, 0, [0, 1, 2]),  # rate 12: 36 out + 12 in = 48
+                (0, 1, [3, 4, 5]),  # rate 12: 48 -> total 96
+                (1, 2, [6]),        # rate 1: 2 bytes
+            ],
+            rates=[12.0, 12.0, 1.0],
+        )
+        hot = cluster.nodes[0]
+        assert hot.utilization > 0.9
+        scaler = Autoscaler(cluster, AutoscalePolicy(0.9, 0.05, 0.6))
+        report = scaler.run_once()
+        assert report.hot_nodes_cooled == 1
+        assert report.moves >= 3
+        assert cluster.nodes[0].utilization <= 0.9
+        # Pairs conserved.
+        assert sum(n.num_pairs for n in cluster.nodes) == 7
+
+    def test_cold_node_drained(self):
+        problem, cluster = _cluster_with_manual_placement(
+            capacity=100.0,
+            assignments=[
+                (0, 0, [0, 1]),  # rate 20: 60 bytes -> util 0.6
+                (1, 1, [2]),     # rate 2: 4 bytes  -> util 0.04 (cold)
+            ],
+            rates=[20.0, 2.0],
+        )
+        scaler = Autoscaler(cluster, AutoscalePolicy(0.95, 0.3, 0.8))
+        report = scaler.run_once()
+        assert report.nodes_drained == 1
+        assert cluster.nodes[1].num_pairs == 0
+        # The drained pair moved to node 0, not back to node 1.
+        assert 2 in cluster.nodes[0].subscribers_of(1)
+
+    def test_drain_skipped_without_headroom(self):
+        # The only other node has no room at target utilization.
+        problem, cluster = _cluster_with_manual_placement(
+            capacity=100.0,
+            assignments=[
+                (0, 0, [0, 1, 2]),  # rate 20: 80 bytes -> util 0.8
+                (1, 1, [3]),        # rate 10: 20 bytes -> util 0.2
+            ],
+            rates=[20.0, 10.0],
+        )
+        scaler = Autoscaler(cluster, AutoscalePolicy(0.95, 0.3, 0.8))
+        report = scaler.run_once()
+        assert report.nodes_drained == 0
+        assert cluster.nodes[1].num_pairs == 1
+
+    def test_actions_recorded(self):
+        problem, cluster = _cluster_with_manual_placement(
+            capacity=100.0,
+            assignments=[(0, 0, [0, 1]), (1, 1, [2])],
+            rates=[20.0, 2.0],
+        )
+        report = Autoscaler(cluster, AutoscalePolicy(0.95, 0.3, 0.8)).run_once()
+        assert all(isinstance(a, str) for a in report.actions)
+
+    def test_converges_to_stable_fleet(self, small_zipf):
+        problem = MCSSProblem(small_zipf, 200, make_unit_plan(3e7))
+        solution = MCSSSolver.paper().solve(problem)
+        cluster = BrokerCluster(problem, solution.placement)
+        scaler = Autoscaler(cluster, AutoscalePolicy(0.95, 0.1, 0.8))
+        before = sum(n.num_pairs for n in cluster.nodes)
+        for _ in range(3):
+            report = scaler.run_once()
+        # Third pass should be (near-)quiescent and pairs conserved.
+        assert sum(n.num_pairs for n in cluster.nodes) == before
+        assert report.moves <= before * 0.1

@@ -1,0 +1,216 @@
+"""Tests for the broker runtime substrate (nodes, cluster, latency)."""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+
+from repro.broker import (
+    BrokerCluster,
+    BrokerNode,
+    Counter,
+    Histogram,
+    LatencyModel,
+    MetricsRegistry,
+    NodeOverloadError,
+)
+from repro.core import MCSSProblem
+from repro.solver import MCSSSolver
+from tests.conftest import make_unit_plan
+
+
+class TestMetrics:
+    def test_counter_up_only(self):
+        c = Counter()
+        c.inc()
+        c.inc(4)
+        assert c.value == 5
+        with pytest.raises(ValueError):
+            c.inc(-1)
+
+    def test_histogram_quantiles(self):
+        h = Histogram()
+        for v in [1, 2, 4, 8, 1000]:
+            h.observe(v)
+        assert h.count == 5
+        assert h.mean == pytest.approx(203.0)
+        assert h.max == 1000
+        assert h.quantile(0.5) <= h.quantile(0.99)
+
+    def test_histogram_validation(self):
+        with pytest.raises(ValueError):
+            Histogram(num_buckets=1)
+        h = Histogram()
+        with pytest.raises(ValueError):
+            h.observe(-1)
+        with pytest.raises(ValueError):
+            h.quantile(2)
+
+    def test_registry_snapshot(self):
+        reg = MetricsRegistry()
+        reg.counter("a").inc(3)
+        reg.gauge("b").set(1.5)
+        reg.histogram("c").observe(10)
+        snap = reg.snapshot()
+        assert snap["a"] == 3
+        assert snap["b"] == 1.5
+        assert snap["c.count"] == 1
+
+
+class TestLatencyModel:
+    def test_service_time(self):
+        model = LatencyModel(line_rate_bytes_per_sec=1e6, cpu_overhead_seconds=0)
+        assert model.service_time(1000) == pytest.approx(1e-3)
+
+    def test_wait_grows_with_load(self):
+        model = LatencyModel(line_rate_bytes_per_sec=1e6, cpu_overhead_seconds=0)
+        low = model.evaluate(100, 1000)  # rho = 0.1
+        high = model.evaluate(900, 1000)  # rho = 0.9
+        assert low.utilization == pytest.approx(0.1)
+        assert high.mean_wait_seconds > 10 * low.mean_wait_seconds
+
+    def test_md1_halves_mm1_wait(self):
+        md1 = LatencyModel(1e6, 0, service_cv2=0.0).evaluate(500, 1000)
+        mm1 = LatencyModel(1e6, 0, service_cv2=1.0).evaluate(500, 1000)
+        assert md1.mean_wait_seconds == pytest.approx(mm1.mean_wait_seconds / 2)
+
+    def test_saturation_reports_infinity(self):
+        model = LatencyModel(1e6, 0)
+        sat = model.evaluate(2000, 1000)  # rho = 2
+        assert sat.saturated
+        assert math.isinf(sat.mean_wait_seconds)
+
+    def test_pk_formula_value(self):
+        # M/D/1 at rho=0.5, S=1ms: W = 0.5 * 1ms / (2 * 0.5) = 0.5ms.
+        model = LatencyModel(1e6, 0, service_cv2=0.0)
+        lat = model.evaluate(500, 1000)
+        assert lat.mean_wait_seconds == pytest.approx(5e-4)
+        assert lat.p99_wait_seconds == pytest.approx(5e-4 * math.log(100))
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            LatencyModel(0)
+        model = LatencyModel(1e6)
+        with pytest.raises(ValueError):
+            model.evaluate(-1, 100)
+        with pytest.raises(ValueError):
+            model.service_time(0)
+
+
+class TestBrokerNode:
+    def test_subscribe_accounting(self):
+        node = BrokerNode(0, capacity_bytes_per_period=100.0, message_bytes=1.0)
+        node.subscribe(7, 1, topic_rate=10.0)
+        # ingest 10 + delivery 10 = 20 bytes.
+        assert node.used_bytes == pytest.approx(20.0)
+        node.subscribe(7, 2, topic_rate=10.0)
+        assert node.used_bytes == pytest.approx(30.0)
+
+    def test_subscribe_idempotent(self):
+        node = BrokerNode(0, 100.0, 1.0)
+        node.subscribe(7, 1, 10.0)
+        node.subscribe(7, 1, 10.0)
+        assert node.num_pairs == 1
+
+    def test_overload_rejected(self):
+        node = BrokerNode(0, 25.0, 1.0)
+        node.subscribe(1, 1, 10.0)  # 20 used
+        with pytest.raises(NodeOverloadError):
+            node.subscribe(2, 1, 10.0)  # needs 20 more
+
+    def test_unsubscribe_drops_feed(self):
+        node = BrokerNode(0, 100.0, 1.0)
+        node.subscribe(7, 1, 10.0)
+        node.unsubscribe(7, 1)
+        assert not node.hosts_topic(7)
+        assert node.used_bytes == 0.0
+
+    def test_unsubscribe_unknown(self):
+        node = BrokerNode(0, 100.0, 1.0)
+        with pytest.raises(KeyError):
+            node.unsubscribe(7, 1)
+
+    def test_rate_update_can_overload(self):
+        node = BrokerNode(0, 100.0, 1.0)
+        node.subscribe(7, 1, 10.0)
+        node.update_topic_rate(7, 80.0)
+        assert node.utilization > 1.0  # allowed; caller rebalances
+
+    def test_dispatch_meters(self):
+        node = BrokerNode(0, 100.0, 2.0)
+        node.subscribe(7, 1, 10.0)
+        node.subscribe(7, 2, 10.0)
+        sent = node.dispatch(7, count=3)
+        assert sent == 6
+        snap = node.metrics.snapshot()
+        assert snap["events_ingested"] == 3
+        assert snap["notifications_sent"] == 6
+        assert snap["egress_bytes"] == 12.0
+
+    def test_dispatch_unhosted_topic_noop(self):
+        node = BrokerNode(0, 100.0, 1.0)
+        assert node.dispatch(9) == 0
+
+
+class TestBrokerCluster:
+    @pytest.fixture
+    def solved(self, small_zipf):
+        problem = MCSSProblem(small_zipf, 100, make_unit_plan(5e7))
+        solution = MCSSSolver.paper().solve(problem)
+        return problem, solution
+
+    def test_construction_conserves_pairs(self, solved):
+        problem, solution = solved
+        cluster = BrokerCluster(problem, solution.placement)
+        assert cluster.num_nodes == solution.placement.num_vms
+        assert sum(n.num_pairs for n in cluster.nodes) == solution.placement.num_pairs
+
+    def test_publish_fans_out(self, solved):
+        problem, solution = solved
+        cluster = BrokerCluster(problem, solution.placement)
+        topic = next(iter(solution.selection.topics))
+        expected = solution.selection.pair_count(topic)
+        assert cluster.publish(topic, count=1) == expected
+
+    def test_subscribe_prefers_hosting_node(self, solved):
+        problem, solution = solved
+        cluster = BrokerCluster(problem, solution.placement)
+        topic = next(iter(solution.selection.topics))
+        hosts_before = cluster.hosting_nodes(topic)
+        node_id = cluster.subscribe(topic, subscriber=10_000)
+        # Served from an existing host when one has room.
+        if hosts_before:
+            assert node_id in hosts_before or cluster.nodes[node_id].hosts_topic(topic)
+
+    def test_unsubscribe_roundtrip(self, solved):
+        problem, solution = solved
+        cluster = BrokerCluster(problem, solution.placement)
+        topic = next(iter(solution.selection.topics))
+        cluster.subscribe(topic, subscriber=10_000)
+        node_id = cluster.unsubscribe(topic, subscriber=10_000)
+        assert 10_000 not in cluster.nodes[node_id].subscribers_of(topic)
+        with pytest.raises(KeyError):
+            cluster.unsubscribe(topic, subscriber=10_000)
+
+    def test_placement_roundtrip(self, solved):
+        problem, solution = solved
+        cluster = BrokerCluster(problem, solution.placement)
+        snapshot = cluster.to_placement()
+        assert snapshot.num_pairs == solution.placement.num_pairs
+        assert snapshot.total_bytes == pytest.approx(solution.placement.total_bytes)
+
+    def test_latency_report_stable_fleet(self, solved):
+        problem, solution = solved
+        cluster = BrokerCluster(problem, solution.placement)
+        report = cluster.latency_report(period_seconds=864_000.0)
+        # Every VM was packed under BC, so rho < 1 everywhere...
+        assert not report.any_saturated
+        assert 0 < report.max_utilization <= 1.0
+        assert report.mean_sojourn_seconds > 0
+
+    def test_unknown_topic_subscribe(self, solved):
+        problem, solution = solved
+        cluster = BrokerCluster(problem, solution.placement)
+        with pytest.raises(KeyError):
+            cluster.subscribe(10**9, 0)

@@ -1,0 +1,80 @@
+"""Tests for the mcss command-line interface."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+class TestParser:
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_solve_defaults(self):
+        args = build_parser().parse_args(["solve"])
+        assert args.trace == "spotify"
+        assert args.tau == 100.0
+        assert args.selector == "gsp"
+        assert args.packer == "cbp"
+
+    def test_unknown_choice_rejected(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["solve", "--trace", "myspace"])
+
+    def test_figure_args(self):
+        args = build_parser().parse_args(["figure", "fig2a", "--users", "500"])
+        assert args.figure_id == "fig2a"
+        assert args.users == 500
+
+
+class TestCommands:
+    def test_list(self, capsys):
+        assert main(["list"]) == 0
+        out = capsys.readouterr().out
+        assert "fig2a" in out and "summary" in out
+
+    def test_solve_small(self, capsys):
+        code = main(
+            ["solve", "--trace", "spotify", "--tau", "10", "--users", "800",
+             "--seed", "3"]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "saving vs naive" in out
+        assert "lower bound" in out
+
+    def test_solve_with_explicit_algorithms(self, capsys):
+        code = main(
+            ["solve", "--trace", "twitter", "--tau", "10", "--users", "600",
+             "--selector", "rsp", "--packer", "ffbp"]
+        )
+        assert code == 0
+        assert "rsp+ffbp" in capsys.readouterr().out
+
+    def test_figure_trace_analysis(self, capsys):
+        code = main(["figure", "fig9", "--users", "800", "--seed", "2"])
+        assert code == 0
+        assert "fig9" in capsys.readouterr().out
+
+    def test_unknown_figure_raises(self):
+        with pytest.raises(KeyError):
+            main(["figure", "fig99"])
+
+    def test_analyze_tables(self, capsys):
+        code = main(["analyze", "--trace", "twitter", "--users", "700", "--seed", "1"])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "fig8" in out and "fig12" in out
+
+    def test_analyze_plot_mode(self, capsys):
+        code = main(
+            ["analyze", "--trace", "twitter", "--users", "700", "--seed", "1",
+             "--plot"]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        # Plot mode renders axes rather than tables.
+        assert "+---" in out or "+" in out
+        assert "#followers" in out

@@ -1,0 +1,108 @@
+"""Tests for the simulated IaaS provider and deployment billing."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.cloud import SimulatedCloud, deploy_and_bill
+from repro.cloud.provider import CloudError
+from repro.core import MCSSProblem
+from repro.pricing import paper_plan
+from repro.simulation import SimulationConfig
+from repro.solver import MCSSSolver
+from tests.conftest import make_unit_plan
+
+
+class TestProvider:
+    def test_launch_and_terminate(self):
+        cloud = SimulatedCloud(paper_plan())
+        vm = cloud.launch_vm()
+        assert vm.running
+        assert len(cloud.running_vms) == 1
+        cloud.terminate_vm(vm.vm_id)
+        assert not vm.running
+        assert cloud.running_vms == []
+
+    def test_double_terminate_rejected(self):
+        cloud = SimulatedCloud(paper_plan())
+        vm = cloud.launch_vm()
+        cloud.terminate_vm(vm.vm_id)
+        with pytest.raises(CloudError):
+            cloud.terminate_vm(vm.vm_id)
+
+    def test_unknown_vm_rejected(self):
+        cloud = SimulatedCloud(paper_plan())
+        with pytest.raises(CloudError):
+            cloud.terminate_vm(99)
+        with pytest.raises(CloudError):
+            cloud.record_transfer(99, 1.0)
+
+    def test_time_only_forward(self):
+        cloud = SimulatedCloud(paper_plan())
+        with pytest.raises(ValueError):
+            cloud.advance(-1)
+
+    def test_vm_hours_billed_per_started_hour(self):
+        cloud = SimulatedCloud(paper_plan())
+        vm = cloud.launch_vm()
+        cloud.advance(1.5)
+        cloud.terminate_vm(vm.vm_id)
+        assert vm.hours_billed(cloud.now_hours) == 2  # ceil(1.5)
+
+    def test_invoice_lines(self):
+        plan = paper_plan()
+        cloud = SimulatedCloud(plan)
+        vm = cloud.launch_vm()
+        cloud.record_transfer(vm.vm_id, 5e9)
+        cloud.advance(10)
+        cloud.terminate_vm(vm.vm_id)
+        invoice = cloud.invoice()
+        assert len(invoice.lines) == 2
+        assert invoice.total_usd == pytest.approx(10 * 0.15 + 5 * 0.12)
+
+    def test_negative_transfer_rejected(self):
+        cloud = SimulatedCloud(paper_plan())
+        vm = cloud.launch_vm()
+        with pytest.raises(ValueError):
+            cloud.record_transfer(vm.vm_id, -1)
+
+    def test_empty_invoice(self):
+        cloud = SimulatedCloud(paper_plan())
+        assert cloud.invoice().total_usd == 0.0
+
+
+class TestDeployAndBill:
+    @pytest.fixture
+    def problem(self, small_zipf):
+        return MCSSProblem(small_zipf, 100, make_unit_plan(5e7, vm_price=24.0))
+
+    def test_invoice_matches_objective(self, problem):
+        solution = MCSSSolver.paper().solve(problem)
+        deployment = deploy_and_bill(
+            problem,
+            solution.placement,
+            SimulationConfig(horizon_fraction=1.0),
+        )
+        # The bill the simulated provider issues must equal the
+        # objective the optimizer minimized (this is the whole point).
+        assert deployment.billing_gap < 0.01
+        assert deployment.invoice.total_usd == pytest.approx(
+            solution.cost.total_usd, rel=0.01
+        )
+
+    def test_fleet_size_matches_placement(self, problem):
+        solution = MCSSSolver.paper().solve(problem)
+        deployment = deploy_and_bill(problem, solution.placement)
+        assert len(deployment.handles) == solution.placement.num_vms
+        assert all(not h.running for h in deployment.handles)
+
+    def test_report_satisfied(self, problem):
+        solution = MCSSSolver.paper().solve(problem)
+        deployment = deploy_and_bill(problem, solution.placement)
+        assert deployment.report.satisfied
+
+    def test_invoice_renders(self, problem):
+        solution = MCSSSolver.paper().solve(problem)
+        deployment = deploy_and_bill(problem, solution.placement)
+        text = str(deployment.invoice)
+        assert "TOTAL" in text and "data transfer" in text

@@ -1,0 +1,124 @@
+"""Tests for churn and incremental reprovisioning."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core import MCSSProblem, validate_placement
+from repro.dynamic import ChurnConfig, ChurnModel, IncrementalReprovisioner
+from repro.workloads import zipf_workload
+from tests.conftest import make_unit_plan
+
+
+@pytest.fixture
+def workload():
+    return zipf_workload(40, 120, mean_interest=5.0, seed=9)
+
+
+@pytest.fixture
+def problem(workload):
+    return MCSSProblem(workload, 50, make_unit_plan(4.5e7))
+
+
+class TestChurnModel:
+    def test_delta_reports_changes(self, workload):
+        model = ChurnModel(workload, ChurnConfig(0.05, 0.05, 0.1), seed=1)
+        delta = model.step()
+        assert delta.subscribed or delta.unsubscribed
+        assert delta.rate_changed_topics
+        assert delta.workload is model.workload
+
+    def test_subscribers_never_emptied(self, workload):
+        model = ChurnModel(
+            workload, ChurnConfig(unsubscribe_fraction=0.9, subscribe_fraction=0.0,
+                                  rate_drift_sigma=0.0), seed=2
+        )
+        for _ in range(3):
+            delta = model.step()
+            w = delta.workload
+            assert all(w.interest(v).size >= 1 for v in range(w.num_subscribers))
+
+    def test_rates_stay_positive(self, workload):
+        model = ChurnModel(
+            workload, ChurnConfig(0.0, 0.0, rate_drift_sigma=1.0), seed=3
+        )
+        for _ in range(3):
+            assert model.step().workload.event_rates.min() >= 1
+
+    def test_no_churn_is_identity(self, workload):
+        model = ChurnModel(workload, ChurnConfig(0.0, 0.0, 0.0), seed=4)
+        delta = model.step()
+        assert not delta.subscribed
+        assert not delta.unsubscribed
+        assert not delta.rate_changed_topics
+        assert delta.workload.num_pairs == workload.num_pairs
+
+    def test_deterministic(self, workload):
+        a = ChurnModel(workload, seed=7).step()
+        b = ChurnModel(workload, seed=7).step()
+        assert a.subscribed == b.subscribed
+        assert a.unsubscribed == b.unsubscribed
+
+    def test_touched_subscribers(self, workload):
+        model = ChurnModel(workload, ChurnConfig(0.05, 0.05, 0.0), seed=5)
+        delta = model.step()
+        touched = delta.touched_subscribers
+        for _t, v in delta.subscribed:
+            assert v in touched
+
+    def test_invalid_config(self):
+        with pytest.raises(ValueError):
+            ChurnConfig(unsubscribe_fraction=1.0)
+        with pytest.raises(ValueError):
+            ChurnConfig(subscribe_fraction=-0.1)
+        with pytest.raises(ValueError):
+            ChurnConfig(rate_drift_sigma=-1)
+
+
+class TestIncrementalReprovisioner:
+    def test_initial_state_feasible(self, problem):
+        reprov = IncrementalReprovisioner(problem)
+        report = validate_placement(reprov.problem, reprov.placement())
+        assert report.ok
+
+    def test_epochs_stay_feasible(self, problem):
+        reprov = IncrementalReprovisioner(problem)
+        model = ChurnModel(problem.workload, ChurnConfig(0.03, 0.03, 0.05), seed=6)
+        for _ in range(4):
+            delta = model.step()
+            epoch = reprov.step(delta)
+            current = reprov.problem
+            audit = validate_placement(current, reprov.placement())
+            assert audit.ok, str(audit)
+            assert epoch.cost.total_usd > 0
+
+    def test_drift_bounded_by_rebuild(self, problem):
+        reprov = IncrementalReprovisioner(problem, rebuild_threshold=1.10)
+        model = ChurnModel(problem.workload, ChurnConfig(0.05, 0.05, 0.1), seed=8)
+        for _ in range(5):
+            epoch = reprov.step(model.step())
+            assert epoch.drift <= 1.10 + 1e-6
+
+    def test_plain_workload_accepted(self, problem):
+        reprov = IncrementalReprovisioner(problem)
+        model = ChurnModel(problem.workload, seed=10)
+        new_workload = model.step().workload
+        epoch = reprov.step(new_workload)
+        assert validate_placement(reprov.problem, reprov.placement()).ok
+        assert epoch.epoch == 1
+
+    def test_incremental_moves_fewer_pairs_than_rebuild(self, problem):
+        # The point of incrementality: per-epoch movement is a small
+        # fraction of the workload.
+        reprov = IncrementalReprovisioner(problem, rebuild_threshold=10.0)
+        model = ChurnModel(problem.workload, ChurnConfig(0.02, 0.02, 0.0), seed=11)
+        delta = model.step()
+        epoch = reprov.step(delta)
+        assert not epoch.rebuilt
+        touched = epoch.pairs_added + epoch.pairs_removed + epoch.pairs_moved
+        assert touched < problem.workload.num_pairs * 0.2
+
+    def test_invalid_threshold(self, problem):
+        with pytest.raises(ValueError):
+            IncrementalReprovisioner(problem, rebuild_threshold=0.9)

@@ -1,0 +1,57 @@
+"""Smoke tests for the per-figure entry points at tiny scale.
+
+The benchmarks exercise every figure at experiment scale; these tests
+make sure `run_figure` itself works end-to-end for each experiment
+family at a size small enough for the unit suite.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.experiments import ExperimentScale, run_figure
+from repro.experiments.ladder import LadderResult
+from repro.experiments.runtime import Stage1RuntimeResult, Stage2RuntimeResult
+from repro.experiments.summary import SummaryResult
+from repro.experiments.traces import TraceFigure
+
+TINY = ExperimentScale(num_users=700, seed=8, target_vms=10)
+
+
+class TestRunFigure:
+    def test_ladder_figure(self):
+        result = run_figure("fig2a", TINY)
+        assert isinstance(result, LadderResult)
+        assert result.trace_name == "spotify"
+        assert "Total Cost" in result.render()
+
+    def test_stage1_figure(self):
+        result = run_figure("fig4", TINY)
+        assert isinstance(result, Stage1RuntimeResult)
+        assert set(result.seconds) == {"GreedySelectPairs", "RandomSelectPairs"}
+
+    def test_stage2_figure(self):
+        result = run_figure("fig6", TINY)
+        assert isinstance(result, Stage2RuntimeResult)
+        assert result.speedup(100) > 0
+
+    def test_trace_figure(self):
+        result = run_figure("fig9", TINY)
+        assert isinstance(result, TraceFigure)
+        assert result.figure_id == "fig9"
+
+    def test_summary_figure(self):
+        result = run_figure("summary", TINY)
+        assert isinstance(result, SummaryResult)
+        assert "spotify" in result.ladders and "twitter" in result.ladders
+
+    def test_unknown_figure(self):
+        with pytest.raises(KeyError, match="fig2a"):
+            run_figure("nope", TINY)
+
+    def test_default_scale_object(self):
+        # run_figure must accept scale=None (uses defaults) -- only
+        # check the call path resolves, not the (slow) run itself.
+        from repro.experiments.figures import FIGURES
+
+        assert "fig2a" in FIGURES

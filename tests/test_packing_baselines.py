@@ -1,0 +1,75 @@
+"""Tests for the extra Stage-2 baselines (best-fit, FFD)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core import MCSSProblem, PairSelection, validate_placement
+from repro.packing import (
+    BestFitBinPacking,
+    CustomBinPacking,
+    FFBinPacking,
+    FirstFitDecreasingBinPacking,
+    available_packers,
+    get_packer,
+)
+from repro.selection import GreedySelectPairs
+from tests.conftest import make_unit_plan, random_workload
+
+
+@pytest.fixture
+def problem(small_zipf):
+    return MCSSProblem(small_zipf, 200, make_unit_plan(2e7))
+
+
+class TestBaselines:
+    @pytest.mark.parametrize("packer_name", ["bfbp", "ffdbp"])
+    def test_feasible_and_complete(self, problem, packer_name):
+        selection = GreedySelectPairs().select(problem)
+        placement = get_packer(packer_name).pack(problem, selection)
+        assert validate_placement(problem, placement).ok
+        assert placement.to_selection() == selection
+
+    def test_best_fit_minimizes_slack_locally(self, tiny_workload):
+        # Two VMs: one nearly full, one empty; best-fit picks the
+        # tighter (nearly full) VM for a pair that fits both.
+        problem = MCSSProblem(tiny_workload, 30, make_unit_plan(100.0))
+        selection = PairSelection({1: [0, 1, 2]})
+        placement = BestFitBinPacking().pack(problem, selection)
+        # All three rate-10 pairs of topic 1 land on one VM.
+        assert placement.num_vms == 1
+
+    def test_ffd_processes_big_rates_first(self, problem):
+        selection = GreedySelectPairs().select(problem)
+        placement = FirstFitDecreasingBinPacking().pack(problem, selection)
+        rates = problem.workload.event_rates
+        top_topic = max(selection.topics, key=lambda t: float(rates[t]))
+        assert placement.vms[0].hosts_topic(top_topic)
+
+    @pytest.mark.parametrize("seed", range(5))
+    def test_ffd_never_more_vms_than_ff(self, seed):
+        # The textbook ordering improvement should hold on our
+        # instances too (not a theorem with topic ingest, but expected
+        # on random workloads; fixed seeds keep it stable).
+        rng = np.random.default_rng(seed + 40)
+        w = random_workload(rng, max_topics=8, max_subscribers=20)
+        capacity = 2.5 * 2.0 * float(w.event_rates.max())
+        problem = MCSSProblem(w, 10, make_unit_plan(capacity))
+        selection = GreedySelectPairs().select(problem)
+        ff = FFBinPacking().pack(problem, selection)
+        ffd = FirstFitDecreasingBinPacking().pack(problem, selection)
+        assert ffd.num_vms <= ff.num_vms + 1
+
+    def test_cbp_beats_generic_baselines_on_bandwidth(self, problem):
+        # The Section-V claim: generic packers cannot recover the
+        # ingest savings of topic grouping.
+        selection = GreedySelectPairs().select(problem)
+        cbp = CustomBinPacking().pack(problem, selection)
+        for packer in (BestFitBinPacking(), FirstFitDecreasingBinPacking()):
+            generic = packer.pack(problem, selection)
+            assert cbp.total_incoming_bytes <= generic.total_incoming_bytes
+
+    def test_registry_lists_all(self):
+        names = available_packers()
+        assert {"ffbp", "cbp", "bfbp", "ffdbp"} <= set(names)

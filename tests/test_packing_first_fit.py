@@ -1,0 +1,70 @@
+"""Tests for FFBinPacking (Algorithm 3)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core import MCSSProblem, PairSelection, validate_placement
+from repro.packing import FFBinPacking, get_packer, iter_pairs_subscriber_major
+from repro.selection import GreedySelectPairs
+from tests.conftest import make_unit_plan
+
+
+class TestIterationOrder:
+    def test_subscriber_major(self):
+        sel = PairSelection({5: [1, 0], 2: [0]})
+        order = list(iter_pairs_subscriber_major(sel))
+        # All of v0's pairs first (selection insertion order within a
+        # subscriber), then v1's.
+        assert order == [(5, 0), (2, 0), (5, 1)]
+        assert [v for _t, v in order] == sorted(v for _t, v in order)
+
+
+class TestFFBinPacking:
+    def test_single_vm_when_everything_fits(self, tiny_problem):
+        selection = PairSelection.full(tiny_problem.workload)
+        placement = FFBinPacking().pack(tiny_problem, selection)
+        # Full load = 70 out + 30 in = 100 > 80 capacity -> 2 VMs.
+        assert placement.num_vms == 2
+        assert validate_placement(tiny_problem, placement).capacity_ok
+
+    def test_fits_one_vm_with_room(self, tiny_workload):
+        problem = MCSSProblem(tiny_workload, 30, make_unit_plan(200.0))
+        placement = FFBinPacking().pack(problem, PairSelection.full(tiny_workload))
+        assert placement.num_vms == 1
+
+    def test_all_pairs_placed(self, tiny_problem):
+        selection = PairSelection.full(tiny_problem.workload)
+        placement = FFBinPacking().pack(tiny_problem, selection)
+        assert placement.to_selection() == selection
+
+    def test_first_fit_prefers_earliest_vm(self, tiny_workload):
+        # Capacity 45: v0's pairs (t0: 40 w/ ingest, then t1: +20) ->
+        # t0 on VM0 (40), t1 doesn't fit VM0 (5 free) -> VM1...
+        problem = MCSSProblem(tiny_workload, 30, make_unit_plan(45.0))
+        placement = FFBinPacking().pack(problem, PairSelection.full(tiny_workload))
+        report = validate_placement(problem, placement)
+        assert report.capacity_ok and report.accounting_ok
+        # v2's pair (t1, 10 out) must reuse VM1 (first fit), not open
+        # a new VM: VM1 hosts t1 already.
+        assert placement.vms[1].pair_count(1) >= 2
+
+    def test_splits_topics_across_vms(self, small_zipf):
+        # With tight capacity FFBP replicates topics: total ingest must
+        # exceed the single-copy ingest of the selection.
+        problem = MCSSProblem(small_zipf, 1000, make_unit_plan(8.5e6))
+        selection = GreedySelectPairs().select(problem)
+        placement = FFBinPacking().pack(problem, selection)
+        assert placement.num_vms > 1
+        single_copy = selection.incoming_rate(small_zipf) * small_zipf.message_size_bytes
+        assert placement.total_incoming_bytes > single_copy
+        assert validate_placement(problem, placement).ok
+
+    def test_feasible_on_generated_workload(self, small_zipf):
+        problem = MCSSProblem(small_zipf, 100, make_unit_plan(8e7))
+        selection = GreedySelectPairs().select(problem)
+        placement = FFBinPacking().pack(problem, selection)
+        assert validate_placement(problem, placement).ok
+
+    def test_registry(self):
+        assert isinstance(get_packer("ffbp"), FFBinPacking)

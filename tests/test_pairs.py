@@ -1,0 +1,95 @@
+"""Unit tests for repro.core.pairs (PairSelection)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core import PairSelection, Workload
+
+
+class TestConstruction:
+    def test_from_mapping(self):
+        sel = PairSelection({0: [1, 2], 3: [0]})
+        assert sel.num_pairs == 3
+        assert sel.num_topics == 2
+        assert sorted(sel.topics) == [0, 3]
+
+    def test_empty_groups_dropped(self):
+        sel = PairSelection({0: [], 1: [2]})
+        assert sel.num_topics == 1
+        assert (1, 2) in sel
+
+    def test_duplicates_rejected(self):
+        with pytest.raises(ValueError, match="duplicate"):
+            PairSelection({0: [1, 1]})
+
+    def test_from_pairs(self):
+        sel = PairSelection.from_pairs([(0, 1), (0, 2), (5, 1)])
+        assert sel.pair_count(0) == 2
+        assert sel.pair_count(5) == 1
+
+    def test_from_subscriber_topics(self):
+        sel = PairSelection.from_subscriber_topics({1: [0, 5], 2: [0]})
+        assert sel.subscribers_of(0).tolist() == [1, 2]
+        assert sel.subscribers_of(5).tolist() == [1]
+
+    def test_full(self, tiny_workload):
+        sel = PairSelection.full(tiny_workload)
+        assert sel.num_pairs == tiny_workload.num_pairs
+        assert set(sel) == set(tiny_workload.iter_pairs())
+
+
+class TestViews:
+    def test_contains(self):
+        sel = PairSelection({0: [1]})
+        assert (0, 1) in sel
+        assert (0, 2) not in sel
+        assert (1, 1) not in sel
+
+    def test_len_and_iter(self):
+        sel = PairSelection({0: [1, 2], 1: [3]})
+        assert len(sel) == 3
+        assert set(sel) == {(0, 1), (0, 2), (1, 3)}
+
+    def test_missing_topic_empty_array(self):
+        sel = PairSelection({0: [1]})
+        assert sel.subscribers_of(9).size == 0
+        assert sel.pair_count(9) == 0
+
+    def test_equality_ignores_order(self):
+        a = PairSelection({0: [2, 1]})
+        b = PairSelection({0: [1, 2]})
+        assert a == b
+        assert hash(a) == hash(b)
+
+    def test_inequality(self):
+        assert PairSelection({0: [1]}) != PairSelection({0: [2]})
+        assert PairSelection({0: [1]}) != PairSelection({1: [1]})
+
+    def test_topics_by_subscriber_roundtrip(self):
+        sel = PairSelection({0: [1, 2], 1: [1]})
+        inverted = sel.topics_by_subscriber()
+        assert inverted == {1: [0, 1], 2: [0]}
+        assert PairSelection.from_subscriber_topics(inverted) == sel
+
+
+class TestBandwidth:
+    def test_outgoing_rate(self, tiny_workload):
+        sel = PairSelection({0: [0, 1], 1: [2]})
+        assert sel.outgoing_rate(tiny_workload) == 2 * 20 + 10
+
+    def test_incoming_rate_counts_topics_once(self, tiny_workload):
+        sel = PairSelection({0: [0, 1], 1: [2]})
+        assert sel.incoming_rate(tiny_workload) == 30
+
+    def test_single_vm_totals(self, tiny_workload):
+        sel = PairSelection.full(tiny_workload)
+        # outgoing 2*20 + 3*10 = 70, incoming 30 -> 100 events, 1 B each
+        assert sel.single_vm_rate(tiny_workload) == 100
+        assert sel.single_vm_bytes(tiny_workload) == 100
+
+    def test_message_size_scales_bytes(self, tiny_workload):
+        sel = PairSelection.full(tiny_workload)
+        w2 = tiny_workload.with_message_size(200.0)
+        assert sel.single_vm_bytes(w2) == 100 * 200

@@ -1,0 +1,165 @@
+"""Unit tests for repro.core.placement (VirtualMachine, Placement)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core import CapacityError, Placement, VirtualMachine, Workload
+
+
+class TestVirtualMachine:
+    def test_initial_state(self):
+        vm = VirtualMachine(100.0)
+        assert vm.used_bytes == 0
+        assert vm.free_bytes == 100.0
+        assert vm.num_pairs == 0
+
+    def test_invalid_capacity(self):
+        with pytest.raises(ValueError):
+            VirtualMachine(0)
+
+    def test_add_pairs_accounting(self):
+        vm = VirtualMachine(100.0)
+        vm.add_pairs(topic=7, topic_bytes=10.0, count=3)
+        # 3 outgoing copies + 1 incoming copy = 40 bytes.
+        assert vm.outgoing_bytes == 30.0
+        assert vm.incoming_bytes == 10.0
+        assert vm.used_bytes == 40.0
+        assert vm.pair_count(7) == 3
+        assert vm.hosts_topic(7)
+
+    def test_second_batch_same_topic_no_extra_ingest(self):
+        vm = VirtualMachine(100.0)
+        vm.add_pairs(7, 10.0, 2)
+        vm.add_pairs(7, 10.0, 1)
+        assert vm.incoming_bytes == 10.0
+        assert vm.outgoing_bytes == 30.0
+
+    def test_different_topics_ingest_separately(self):
+        vm = VirtualMachine(100.0)
+        vm.add_pairs(1, 10.0, 1)
+        vm.add_pairs(2, 5.0, 1)
+        assert vm.incoming_bytes == 15.0
+        assert sorted(vm.topics) == [1, 2]
+
+    def test_capacity_enforced(self):
+        vm = VirtualMachine(30.0)
+        with pytest.raises(CapacityError):
+            vm.add_pairs(0, 10.0, 3)  # needs 40
+
+    def test_exact_fill_allowed(self):
+        vm = VirtualMachine(40.0)
+        vm.add_pairs(0, 10.0, 3)  # exactly 40
+        assert vm.free_bytes == pytest.approx(0.0)
+
+    def test_zero_count_rejected(self):
+        vm = VirtualMachine(10.0)
+        with pytest.raises(ValueError):
+            vm.add_pairs(0, 1.0, 0)
+
+    def test_fits_accounts_for_new_topic(self):
+        vm = VirtualMachine(25.0)
+        assert vm.fits(10.0, 1, new_topic=True)  # 20 <= 25
+        assert not vm.fits(10.0, 2, new_topic=True)  # 30 > 25
+        vm.add_pairs(0, 10.0, 1)
+        assert not vm.fits(10.0, 1, new_topic=True)  # 20 > 5 free
+        # Existing topic: only the outgoing copy is charged... still no.
+        assert not vm.fits(10.0, 1, new_topic=False)
+
+    def test_max_new_pairs_new_topic(self):
+        vm = VirtualMachine(35.0)
+        # Ingest eats 10, leaving 25 -> 2 pairs of 10.
+        assert vm.max_new_pairs(10.0, already_hosted=False) == 2
+
+    def test_max_new_pairs_hosted_topic(self):
+        vm = VirtualMachine(35.0)
+        vm.add_pairs(0, 10.0, 1)  # uses 20
+        assert vm.max_new_pairs(10.0, already_hosted=True) == 1
+
+    def test_max_new_pairs_zero_when_too_full(self):
+        vm = VirtualMachine(15.0)
+        assert vm.max_new_pairs(10.0, already_hosted=False) == 0
+
+    def test_addition_cost(self):
+        vm = VirtualMachine(100.0)
+        assert vm.addition_cost_bytes(10.0, 2, new_topic=True) == 30.0
+        assert vm.addition_cost_bytes(10.0, 2, new_topic=False) == 20.0
+
+
+class TestPlacement:
+    def test_new_vm_indexing(self, tiny_workload):
+        p = Placement(tiny_workload, capacity_bytes=100.0)
+        assert p.new_vm() == 0
+        assert p.new_vm() == 1
+        assert p.num_vms == 2
+
+    def test_assign_and_members(self, tiny_workload):
+        p = Placement(tiny_workload, 100.0)
+        b = p.new_vm()
+        p.assign(b, 0, [0, 1])
+        assert p.members(b, 0) == [0, 1]
+        assert p.vm_topics(b) == [0]
+        assert p.num_pairs == 2
+
+    def test_assign_empty_is_noop(self, tiny_workload):
+        p = Placement(tiny_workload, 100.0)
+        b = p.new_vm()
+        p.assign(b, 0, [])
+        assert p.num_pairs == 0
+
+    def test_topic_bytes_uses_message_size(self):
+        w = Workload([2.0], [[0]], message_size_bytes=100.0)
+        p = Placement(w, 1e6)
+        assert p.topic_bytes(0) == 200.0
+
+    def test_totals(self, tiny_workload):
+        p = Placement(tiny_workload, 100.0)
+        a, b = p.new_vm(), p.new_vm()
+        p.assign(a, 0, [0, 1])  # out 40, in 20
+        p.assign(b, 1, [0, 1, 2])  # out 30, in 10
+        assert p.total_outgoing_bytes == 70.0
+        assert p.total_incoming_bytes == 30.0
+        assert p.total_bytes == 100.0
+
+    def test_split_topic_duplicates_ingest(self, tiny_workload):
+        p = Placement(tiny_workload, 100.0)
+        a, b = p.new_vm(), p.new_vm()
+        p.assign(a, 1, [0])
+        p.assign(b, 1, [1, 2])
+        # Ingest paid on both VMs: the Section II-A replication effect.
+        assert p.total_incoming_bytes == 20.0
+        assert p.topic_replicas(1) == 2
+
+    def test_topics_by_subscriber_deduplicates(self, tiny_workload):
+        p = Placement(tiny_workload, 100.0)
+        a, b = p.new_vm(), p.new_vm()
+        p.assign(a, 1, [0])
+        p.assign(b, 1, [0])  # same pair on two VMs (legal per Eq. 3)
+        assert p.topics_by_subscriber() == {0: [1]}
+
+    def test_to_selection_collapses(self, tiny_workload):
+        p = Placement(tiny_workload, 100.0)
+        a, b = p.new_vm(), p.new_vm()
+        p.assign(a, 0, [0])
+        p.assign(b, 0, [0, 1])
+        sel = p.to_selection()
+        assert sel.num_pairs == 2  # (0,0) deduplicated
+        assert sel.subscribers_of(0).tolist() == [0, 1]
+
+    def test_iter_assignments(self, tiny_workload):
+        p = Placement(tiny_workload, 100.0)
+        a = p.new_vm()
+        p.assign(a, 0, [0])
+        p.assign(a, 1, [2])
+        triples = sorted(p.iter_assignments())
+        assert triples == [(0, 0, [0]), (0, 1, [2])]
+
+    def test_capacity_propagates(self, tiny_workload):
+        p = Placement(tiny_workload, 35.0)
+        b = p.new_vm()
+        with pytest.raises(CapacityError):
+            p.assign(b, 0, [0, 1])  # 2*20 out + 20 in = 60 > 35
+
+    def test_invalid_capacity(self, tiny_workload):
+        with pytest.raises(ValueError):
+            Placement(tiny_workload, 0)

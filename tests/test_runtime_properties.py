@@ -1,0 +1,90 @@
+"""Property tests for the runtime substrates (broker, dynamic).
+
+Invariants:
+
+* a broker cluster built from any solver placement conserves pairs and
+  delivers every published event to exactly the selected audience;
+* any sequence of churn epochs leaves the incremental reprovisioner
+  feasible;
+* autoscaling passes conserve pairs and never overload a node.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.broker import BrokerCluster
+from repro.core import MCSSProblem, validate_placement
+from repro.dynamic import (
+    AutoscalePolicy,
+    Autoscaler,
+    ChurnConfig,
+    ChurnModel,
+    IncrementalReprovisioner,
+)
+from repro.solver import MCSSSolver
+from repro.workloads import zipf_workload
+from tests.conftest import make_unit_plan, random_workload
+
+
+@given(seed=st.integers(min_value=0, max_value=10_000))
+@settings(max_examples=40, deadline=None)
+def test_cluster_conserves_and_delivers(seed):
+    rng = np.random.default_rng(seed)
+    w = random_workload(rng, max_topics=8, max_subscribers=10)
+    capacity = 3.0 * 2.0 * float(w.event_rates.max())
+    problem = MCSSProblem(w, 10, make_unit_plan(capacity))
+    solution = MCSSSolver.paper().solve(problem)
+    cluster = BrokerCluster(problem, solution.placement)
+
+    assert sum(n.num_pairs for n in cluster.nodes) == solution.placement.num_pairs
+    for t in solution.selection.topics:
+        delivered = cluster.publish(t, count=1)
+        assert delivered == solution.selection.pair_count(t)
+
+
+@given(
+    seed=st.integers(min_value=0, max_value=1000),
+    epochs=st.integers(min_value=1, max_value=3),
+    unsub=st.floats(min_value=0.0, max_value=0.2),
+    sub=st.floats(min_value=0.0, max_value=0.2),
+    drift=st.floats(min_value=0.0, max_value=0.3),
+)
+@settings(max_examples=25, deadline=None)
+def test_reprovisioner_feasible_under_arbitrary_churn(
+    seed, epochs, unsub, sub, drift
+):
+    w = zipf_workload(25, 60, mean_interest=4.0, seed=seed % 7)
+    problem = MCSSProblem(w, 40, make_unit_plan(4.5e7))
+    reprov = IncrementalReprovisioner(problem)
+    model = ChurnModel(w, ChurnConfig(unsub, sub, drift), seed=seed)
+    for _ in range(epochs):
+        reprov.step(model.step())
+        audit = validate_placement(reprov.problem, reprov.placement())
+        assert audit.ok, str(audit)
+
+
+@given(seed=st.integers(min_value=0, max_value=1000))
+@settings(max_examples=20, deadline=None)
+def test_autoscaler_preserves_pairs_and_capacity(seed):
+    rng = np.random.default_rng(seed)
+    w = random_workload(rng, max_topics=10, max_subscribers=15)
+    capacity = 2.5 * 2.0 * float(w.event_rates.max())
+    problem = MCSSProblem(w, 15, make_unit_plan(capacity))
+    solution = MCSSSolver.paper().solve(problem)
+    cluster = BrokerCluster(problem, solution.placement)
+    pairs_before = sum(n.num_pairs for n in cluster.nodes)
+
+    scaler = Autoscaler(cluster, AutoscalePolicy(0.9, 0.2, 0.7))
+    scaler.run_once()
+
+    assert sum(n.num_pairs for n in cluster.nodes) == pairs_before
+    for node in cluster.nodes:
+        # Nodes stay within hard capacity (subscribe enforces it).
+        assert node.used_bytes <= node.capacity_bytes * (1 + 1e-9)
+    # The runtime state still maps back to a valid placement.
+    audit = validate_placement(problem, cluster.to_placement())
+    assert audit.capacity_ok and audit.satisfaction_ok

@@ -1,0 +1,115 @@
+"""Tests for the deployment simulator (discrete-event replay)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core import MCSSProblem, PairSelection
+from repro.simulation import SimulationConfig, simulate_placement
+from repro.solver import MCSSSolver
+from tests.conftest import make_unit_plan
+
+
+@pytest.fixture
+def solved(small_zipf):
+    problem = MCSSProblem(small_zipf, 100, make_unit_plan(5e7))
+    solution = MCSSSolver.paper().solve(problem)
+    return problem, solution.placement
+
+
+class TestDeterministicReplay:
+    def test_metering_matches_analytic(self, solved):
+        problem, placement = solved
+        report = simulate_placement(
+            problem, placement, SimulationConfig(horizon_fraction=1.0)
+        )
+        # Deterministic publishers at full horizon: metered bytes must
+        # equal the analytic Equation-(2) accounting almost exactly.
+        assert report.metering_error < 0.01
+        assert report.satisfied
+
+    def test_partial_horizon_scales(self, solved):
+        problem, placement = solved
+        report = simulate_placement(
+            problem, placement, SimulationConfig(horizon_fraction=0.25)
+        )
+        assert report.analytic_rate_bytes == pytest.approx(
+            placement.total_bytes * 0.25
+        )
+        assert report.metering_error < 0.05
+        assert report.satisfied
+
+    def test_per_vm_meters_respect_capacity(self, solved):
+        problem, placement = solved
+        report = simulate_placement(
+            problem, placement, SimulationConfig(horizon_fraction=1.0)
+        )
+        for meter in report.vm_meters:
+            assert meter.total_bytes <= problem.capacity_bytes * 1.02
+
+    def test_event_conservation(self, solved):
+        problem, placement = solved
+        report = simulate_placement(
+            problem, placement, SimulationConfig(horizon_fraction=1.0)
+        )
+        ingested = sum(m.events_ingested for m in report.vm_meters)
+        delivered = sum(m.events_delivered for m in report.vm_meters)
+        assert ingested >= report.horizon_events  # replicas ingest too
+        assert delivered >= report.horizon_events  # fan-out >= 1 pair
+
+
+class TestUnsatisfiedDetection:
+    def test_starved_subscriber_flagged(self, tiny_problem):
+        placement = tiny_problem.empty_placement()
+        b = placement.new_vm()
+        placement.assign(b, 1, [0, 1, 2])  # v0/v1 need 30, get 10
+        report = simulate_placement(
+            tiny_problem, placement, SimulationConfig(horizon_fraction=1.0)
+        )
+        assert not report.satisfied
+        assert set(report.unsatisfied_subscribers) == {0, 1}
+
+    def test_duplicate_pair_counts_once(self, tiny_workload):
+        problem = MCSSProblem(tiny_workload, 10, make_unit_plan(100.0))
+        placement = problem.empty_placement()
+        a, b = placement.new_vm(), placement.new_vm()
+        placement.assign(a, 1, [0])
+        placement.assign(b, 1, [0])  # replica must not double delivery
+        report = simulate_placement(
+            problem, placement, SimulationConfig(horizon_fraction=1.0)
+        )
+        assert report.delivered_counts[0] == 10
+
+
+class TestPoisson:
+    def test_poisson_close_on_average(self, solved):
+        problem, placement = solved
+        report = simulate_placement(
+            problem,
+            placement,
+            SimulationConfig(horizon_fraction=0.5, poisson=True, seed=4),
+        )
+        assert report.metering_error < 0.2
+        assert report.satisfied  # tolerance widened for sampling noise
+
+    def test_poisson_deterministic_given_seed(self, solved):
+        problem, placement = solved
+        cfg = SimulationConfig(horizon_fraction=0.2, poisson=True, seed=9)
+        a = simulate_placement(problem, placement, cfg)
+        b = simulate_placement(problem, placement, cfg)
+        assert a.horizon_events == b.horizon_events
+        assert a.total_metered_bytes == b.total_metered_bytes
+
+
+class TestConfig:
+    def test_invalid_horizon(self):
+        with pytest.raises(ValueError):
+            SimulationConfig(horizon_fraction=0.0)
+        with pytest.raises(ValueError):
+            SimulationConfig(horizon_fraction=1.5)
+
+    def test_summary_readable(self, solved):
+        problem, placement = solved
+        report = simulate_placement(problem, placement)
+        text = report.summary()
+        assert "events" in text and "GB" in text

@@ -1,0 +1,89 @@
+"""Tests for the two-stage MCSSSolver pipeline."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core import MCSSProblem, validate_placement
+from repro.packing import CustomBinPacking, FFBinPacking
+from repro.selection import GreedySelectPairs, RandomSelectPairs
+from repro.solver import MCSSSolver
+from tests.conftest import make_unit_plan
+
+
+@pytest.fixture
+def problem(small_zipf):
+    return MCSSProblem(small_zipf, 100, make_unit_plan(5e7))
+
+
+class TestPresets:
+    def test_paper_preset(self):
+        solver = MCSSSolver.paper()
+        assert isinstance(solver.selector, GreedySelectPairs)
+        assert isinstance(solver.packer, CustomBinPacking)
+        opts = solver.packer.options
+        assert opts.expensive_topic_first and opts.most_free_vm_first
+        assert opts.cost_based_decision
+
+    def test_naive_preset(self):
+        solver = MCSSSolver.naive()
+        assert isinstance(solver.selector, RandomSelectPairs)
+        assert isinstance(solver.packer, FFBinPacking)
+
+    def test_ladder_a_is_gsp_ffbp(self):
+        solver = MCSSSolver.ladder("a")
+        assert isinstance(solver.selector, GreedySelectPairs)
+        assert isinstance(solver.packer, FFBinPacking)
+
+    @pytest.mark.parametrize("rung", ["b", "c", "d", "e"])
+    def test_ladder_rungs_use_cbp(self, rung):
+        solver = MCSSSolver.ladder(rung)
+        assert isinstance(solver.packer, CustomBinPacking)
+
+    def test_from_names(self):
+        solver = MCSSSolver.from_names("rsp", "cbp")
+        assert isinstance(solver.selector, RandomSelectPairs)
+        assert isinstance(solver.packer, CustomBinPacking)
+
+    def test_from_names_unknown(self):
+        with pytest.raises(KeyError):
+            MCSSSolver.from_names("nope", "cbp")
+        with pytest.raises(KeyError):
+            MCSSSolver.from_names("gsp", "nope")
+
+
+class TestSolve:
+    def test_solution_fields(self, problem):
+        solution = MCSSSolver.paper().solve(problem)
+        assert solution.problem is problem
+        assert solution.selector_name == "gsp"
+        assert solution.packer_name == "cbp"
+        assert solution.selection_seconds >= 0
+        assert solution.packing_seconds >= 0
+        assert solution.total_seconds == pytest.approx(
+            solution.selection_seconds + solution.packing_seconds
+        )
+        assert solution.validation.ok
+
+    def test_cost_matches_placement(self, problem):
+        solution = MCSSSolver.paper().solve(problem)
+        recomputed = problem.cost_of(solution.placement)
+        assert solution.cost.total_usd == pytest.approx(recomputed.total_usd)
+
+    def test_placement_covers_selection(self, problem):
+        solution = MCSSSolver.paper().solve(problem)
+        assert solution.placement.to_selection() == solution.selection
+
+    def test_validation_enabled_by_default(self, problem):
+        # Produced placements are audited; a healthy run passes.
+        solution = MCSSSolver.paper().solve(problem)
+        assert validate_placement(problem, solution.placement).ok
+
+    def test_paper_beats_naive(self, problem):
+        paper = MCSSSolver.paper().solve(problem)
+        naive = MCSSSolver.naive().solve(problem)
+        assert paper.cost.total_usd <= naive.cost.total_usd
+
+    def test_summary_mentions_names(self, problem):
+        text = MCSSSolver.paper().solve(problem).summary()
+        assert "gsp" in text and "cbp" in text

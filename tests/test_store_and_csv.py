@@ -1,0 +1,136 @@
+"""Tests for the experiment result store and CSV workload interchange."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.experiments import (
+    ExperimentScale,
+    compare_ladders,
+    load_ladder,
+    make_plan,
+    make_trace,
+    run_cost_ladder,
+    save_ladder,
+)
+from repro.experiments.ladder import LadderCell, LadderResult
+from repro.workloads import (
+    load_workload_csv,
+    save_workload_csv,
+    zipf_workload,
+)
+
+SCALE = ExperimentScale(num_users=900, seed=3, target_vms=15)
+
+
+@pytest.fixture(scope="module")
+def ladder():
+    trace = make_trace("twitter", SCALE)
+    plan = make_plan("c3.large", trace.workload, SCALE)
+    return run_cost_ladder(trace.workload, plan, (10, 100), trace_name="twitter")
+
+
+class TestLadderStore:
+    def test_roundtrip(self, tmp_path, ladder):
+        path = tmp_path / "fig3a.json"
+        save_ladder(ladder, path)
+        loaded = load_ladder(path)
+        assert loaded.trace_name == ladder.trace_name
+        assert loaded.instance_name == ladder.instance_name
+        assert list(loaded.taus) == list(ladder.taus)
+        for variant, per_tau in ladder.cells.items():
+            for tau, cell in per_tau.items():
+                got = loaded.cell(variant, tau)
+                assert got.cost_usd == pytest.approx(cell.cost_usd)
+                assert got.num_vms == cell.num_vms
+                assert got.bandwidth_gb == pytest.approx(cell.bandwidth_gb)
+
+    def test_bad_version_rejected(self, tmp_path, ladder):
+        path = tmp_path / "r.json"
+        save_ladder(ladder, path)
+        import json
+
+        payload = json.loads(path.read_text())
+        payload["version"] = 99
+        path.write_text(json.dumps(payload))
+        with pytest.raises(ValueError, match="version"):
+            load_ladder(path)
+
+
+class TestRegression:
+    def test_identical_runs_pass(self, ladder):
+        report = compare_ladders(ladder, ladder)
+        assert report.ok, report.problems
+
+    def test_cost_drift_detected(self, tmp_path, ladder):
+        save_ladder(ladder, tmp_path / "r.json")
+        drifted = load_ladder(tmp_path / "r.json")
+        for tau in drifted.taus:
+            old = drifted.cells["rsp+ffbp"][tau]
+            drifted.cells["rsp+ffbp"][tau] = LadderCell(
+                cost_usd=old.cost_usd * 2.0,
+                num_vms=old.num_vms,
+                bandwidth_gb=old.bandwidth_gb,
+            )
+        report = compare_ladders(ladder, drifted)
+        assert not report.drift_ok
+        assert any("moved" in p for p in report.problems)
+
+    def test_broken_shape_detected(self, tmp_path, ladder):
+        save_ladder(ladder, tmp_path / "r.json")
+        broken = load_ladder(tmp_path / "r.json")
+        for tau in broken.taus:
+            naive = broken.cells["rsp+ffbp"][tau]
+            # Make the "full solution" worse than naive.
+            broken.cells["(e) +cost-decision"][tau] = LadderCell(
+                cost_usd=naive.cost_usd * 3.0,
+                num_vms=naive.num_vms,
+                bandwidth_gb=naive.bandwidth_gb,
+            )
+        report = compare_ladders(ladder, broken)
+        assert not report.shape_ok
+        assert any("no saving" in p for p in report.problems)
+
+    def test_axis_mismatch_detected(self, ladder):
+        other = LadderResult(
+            trace_name=ladder.trace_name,
+            instance_name=ladder.instance_name,
+            taus=[10.0],
+        )
+        other.cells = {
+            variant: {10.0: per_tau[10.0]} for variant, per_tau in ladder.cells.items()
+        }
+        report = compare_ladders(ladder, other)
+        assert not report.drift_ok
+
+
+class TestCSVInterchange:
+    def test_roundtrip(self, tmp_path):
+        w = zipf_workload(12, 30, seed=4)
+        pairs = tmp_path / "pairs.csv"
+        rates = tmp_path / "rates.csv"
+        save_workload_csv(w, pairs, rates)
+        loaded = load_workload_csv(pairs, rates, message_size_bytes=w.message_size_bytes)
+        assert loaded.num_subscribers == w.num_subscribers
+        assert loaded.num_pairs == w.num_pairs
+        # Topics without subscribers survive via the rate table.
+        assert loaded.num_topics == w.num_topics
+        assert loaded.event_rates.sum() == pytest.approx(w.event_rates.sum())
+
+    def test_solves_after_roundtrip(self, tmp_path):
+        from repro.core import MCSSProblem
+        from repro.solver import MCSSSolver
+        from tests.conftest import make_unit_plan
+
+        w = zipf_workload(12, 30, seed=4)
+        save_workload_csv(w, tmp_path / "p.csv", tmp_path / "r.csv")
+        loaded = load_workload_csv(tmp_path / "p.csv", tmp_path / "r.csv")
+        problem = MCSSProblem(loaded, 50, make_unit_plan(5e7))
+        assert MCSSSolver.paper().solve(problem).validation.ok
+
+    def test_unknown_topic_in_pairs_rejected(self, tmp_path):
+        (tmp_path / "rates.csv").write_text("topic,rate\n1,5.0\n")
+        (tmp_path / "pairs.csv").write_text("topic,subscriber\n9,0\n")
+        with pytest.raises(Exception):
+            load_workload_csv(tmp_path / "pairs.csv", tmp_path / "rates.csv")

@@ -1,0 +1,80 @@
+"""Unit tests for repro.core.validation (the independent referee)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core import MCSSProblem, validate_placement
+from tests.conftest import make_unit_plan
+
+
+def _full_placement(problem):
+    """All pairs on one VM (feasible for the tiny fixture's numbers)."""
+    p = problem.empty_placement()
+    b = p.new_vm()
+    p.assign(b, 0, [0, 1])
+    p.assign(b, 1, [0, 1, 2])
+    return p
+
+
+class TestValidatePlacement:
+    def test_feasible_full_placement(self, tiny_workload):
+        problem = MCSSProblem(tiny_workload, 30, make_unit_plan(100.0))
+        report = validate_placement(problem, _full_placement(problem))
+        assert report.ok
+        assert report.capacity_ok and report.satisfaction_ok and report.accounting_ok
+        report.raise_if_invalid()  # must not raise
+
+    def test_unsatisfied_detected(self, tiny_problem):
+        p = tiny_problem.empty_placement()
+        b = p.new_vm()
+        p.assign(b, 1, [0, 1, 2])  # rate 10 < tau_v=30 for v0, v1
+        report = validate_placement(tiny_problem, p)
+        assert not report.ok
+        assert report.unsatisfied_subscribers == [0, 1]
+        assert report.capacity_ok
+        with pytest.raises(ValueError, match="unsatisfied"):
+            report.raise_if_invalid()
+
+    def test_empty_placement_with_subscribers_unsatisfied(self, tiny_problem):
+        report = validate_placement(tiny_problem, tiny_problem.empty_placement())
+        assert not report.satisfaction_ok
+        assert len(report.unsatisfied_subscribers) == 3
+
+    def test_tau_zero_trivially_satisfied(self, tiny_workload):
+        problem = MCSSProblem(tiny_workload, 0, make_unit_plan(100.0))
+        report = validate_placement(problem, problem.empty_placement())
+        assert report.ok
+
+    def test_overload_detected_via_direct_mutation(self, tiny_workload):
+        # Build against a large capacity, then validate against a
+        # smaller-capacity problem: the validator must catch it even
+        # though the placement object itself never raised.
+        big = MCSSProblem(tiny_workload, 30, make_unit_plan(100.0))
+        placement = _full_placement(big)
+        small = MCSSProblem(tiny_workload, 30, make_unit_plan(80.0))
+        report = validate_placement(small, placement)
+        assert not report.capacity_ok
+        assert report.overloaded_vms == [0]
+
+    def test_duplicate_subscriber_listed_flagged(self, tiny_problem):
+        p = tiny_problem.empty_placement()
+        b = p.new_vm()
+        p.assign(b, 0, [0])
+        p.assign(b, 0, [0])  # same pair twice on the same VM
+        report = validate_placement(tiny_problem, p)
+        assert not report.accounting_ok
+
+    def test_pair_on_two_vms_is_legal(self, tiny_workload):
+        problem = MCSSProblem(tiny_workload, 30, make_unit_plan(100.0))
+        p = problem.empty_placement()
+        a, b = p.new_vm(), p.new_vm()
+        p.assign(a, 0, [0, 1])
+        p.assign(a, 1, [0, 1, 2])
+        p.assign(b, 1, [0])  # replica of (1, v0) -- allowed by Eq. (3)
+        report = validate_placement(problem, p)
+        assert report.ok
+
+    def test_report_str(self, tiny_problem):
+        report = validate_placement(tiny_problem, tiny_problem.empty_placement())
+        assert "FAILED" in str(report)

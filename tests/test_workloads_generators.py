@@ -1,0 +1,190 @@
+"""Tests for the social-graph builder and Spotify/Twitter generators."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.analysis import ccdf
+from repro.workloads import (
+    SpotifyConfig,
+    SpotifyWorkloadGenerator,
+    TwitterConfig,
+    TwitterWorkloadGenerator,
+    build_social_graph,
+    generate_social_workload,
+)
+
+
+@pytest.fixture(scope="module")
+def twitter_trace():
+    return TwitterWorkloadGenerator(TwitterConfig(num_users=6000)).generate(seed=11)
+
+
+@pytest.fixture(scope="module")
+def spotify_trace():
+    return SpotifyWorkloadGenerator(SpotifyConfig(num_users=6000)).generate(seed=11)
+
+
+class TestBuildSocialGraph:
+    def _graph(self, n=500, seed=0):
+        rng = np.random.default_rng(seed)
+        counts = rng.integers(1, 10, size=n)
+        weights = rng.random(n) + 0.01
+        return build_social_graph(
+            n, rng, counts, weights, lambda f, r: np.ones(n, dtype=np.int64)
+        )
+
+    def test_no_self_follow(self):
+        graph = self._graph()
+        for u, follows in enumerate(graph.followings):
+            assert u not in follows.tolist()
+
+    def test_no_duplicate_followings(self):
+        graph = self._graph()
+        for follows in graph.followings:
+            assert np.unique(follows).size == follows.size
+
+    def test_follower_counts_consistent(self):
+        graph = self._graph()
+        recount = np.zeros(graph.num_users, dtype=np.int64)
+        for follows in graph.followings:
+            recount[follows] += 1
+        assert np.array_equal(recount, graph.follower_counts)
+
+    def test_popular_users_get_more_followers(self):
+        rng = np.random.default_rng(3)
+        n = 2000
+        weights = np.ones(n)
+        weights[:20] = 500.0  # twenty hubs
+        counts = np.full(n, 5)
+        graph = build_social_graph(
+            n, rng, counts, weights, lambda f, r: np.ones(n, dtype=np.int64)
+        )
+        hubs = graph.follower_counts[:20].mean()
+        rest = graph.follower_counts[20:].mean()
+        assert hubs > 10 * rest
+
+    def test_validation(self):
+        rng = np.random.default_rng(0)
+        with pytest.raises(ValueError, match="two users"):
+            build_social_graph(1, rng, np.ones(1), np.ones(1), lambda f, r: f)
+        with pytest.raises(ValueError, match="length"):
+            build_social_graph(3, rng, np.ones(2), np.ones(3), lambda f, r: f)
+
+    def test_bad_rate_model_rejected(self):
+        rng = np.random.default_rng(0)
+        with pytest.raises(ValueError, match="rate model"):
+            build_social_graph(
+                5,
+                rng,
+                np.ones(5, dtype=int),
+                np.ones(5),
+                lambda f, r: np.full(5, -1),
+            )
+
+
+class TestCompaction:
+    def test_inactive_users_are_not_topics(self):
+        rng = np.random.default_rng(1)
+        n = 300
+
+        def rates(followers, r):
+            out = np.ones(n, dtype=np.int64)
+            out[::2] = 0  # half the users never publish
+            return out
+
+        graph = build_social_graph(
+            n, rng, np.full(n, 4), np.ones(n), rates
+        )
+        workload = generate_social_workload(graph)
+        active = int(((graph.event_counts >= 1) & (graph.follower_counts >= 1)).sum())
+        assert workload.num_topics == active
+
+    def test_all_topics_have_audience_and_rate(self, twitter_trace):
+        w = twitter_trace.workload
+        assert w.event_rates.min() >= 1
+        assert all(
+            w.subscribers_of(t).size >= 1 for t in range(w.num_topics)
+        )
+
+    def test_subscribers_have_interests(self, twitter_trace):
+        w = twitter_trace.workload
+        assert all(
+            w.interest(v).size >= 1 for v in range(w.num_subscribers)
+        )
+
+
+class TestTwitterShape:
+    """The Appendix-D distributional signatures (Figs. 8-10)."""
+
+    def test_deterministic(self):
+        a = TwitterWorkloadGenerator(TwitterConfig(num_users=800)).generate(seed=4)
+        b = TwitterWorkloadGenerator(TwitterConfig(num_users=800)).generate(seed=4)
+        assert np.array_equal(a.workload.event_rates, b.workload.event_rates)
+        assert a.workload.num_pairs == b.workload.num_pairs
+
+    def test_seeds_differ(self):
+        a = TwitterWorkloadGenerator(TwitterConfig(num_users=800)).generate(seed=4)
+        b = TwitterWorkloadGenerator(TwitterConfig(num_users=800)).generate(seed=5)
+        assert a.workload.num_pairs != b.workload.num_pairs
+
+    def test_following_spike_at_20(self, twitter_trace):
+        followings = twitter_trace.graph.following_counts()
+        at_20 = (followings == 20).mean()
+        near_20 = ((followings >= 15) & (followings <= 25) & (followings != 20)).mean() / 10
+        assert at_20 > 3 * near_20  # a visible glitch, as in Fig. 8
+
+    def test_follower_tail_heavy(self, twitter_trace):
+        followers = twitter_trace.graph.follower_counts
+        slope = ccdf(followers[followers >= 1]).tail_exponent(x_min=5)
+        assert slope < -0.5  # heavy-tailed, roughly straight in log-log
+
+    def test_rate_tail_has_bots(self, twitter_trace):
+        rates = twitter_trace.workload.event_rates
+        assert (rates >= 1000).sum() > 0  # the bot tail of Fig. 9
+        # Roughly half of active users tweet little (Fig. 9's body).
+        assert (rates < 10).mean() > 0.25
+
+    def test_rate_grows_with_followers(self, twitter_trace):
+        from repro.analysis import mean_rate_by_followers
+
+        binned = mean_rate_by_followers(twitter_trace.graph)
+        # Compare the low-follower and mid-follower regimes.
+        low = binned.means[0]
+        mid = binned.means[len(binned.means) // 2]
+        assert mid > low
+
+    def test_mean_interest_near_paper(self, twitter_trace):
+        stats = twitter_trace.workload.stats()
+        # The paper's Twitter sample has ~23 pairs/subscriber; our
+        # default calibration lands in the broad vicinity.
+        assert 8 <= stats.mean_interest_size <= 40
+
+
+class TestSpotifyShape:
+    def test_deterministic(self):
+        a = SpotifyWorkloadGenerator(SpotifyConfig(num_users=800)).generate(seed=4)
+        b = SpotifyWorkloadGenerator(SpotifyConfig(num_users=800)).generate(seed=4)
+        assert np.array_equal(a.workload.event_rates, b.workload.event_rates)
+
+    def test_small_interests(self, spotify_trace):
+        stats = spotify_trace.workload.stats()
+        # ~2.4 in the paper; allow slack but keep it clearly below
+        # Twitter's tens.
+        assert 1.0 <= stats.mean_interest_size <= 6.0
+
+    def test_rates_homogeneous_vs_twitter(self, spotify_trace, twitter_trace):
+        sp = spotify_trace.workload.event_rates
+        tw = twitter_trace.workload.event_rates
+        sp_cv = sp.std() / sp.mean()
+        tw_cv = tw.std() / tw.mean()
+        assert sp_cv < tw_cv  # the homogeneity that caps Spotify savings
+
+    def test_inactive_users_dropped(self, spotify_trace):
+        graph = spotify_trace.graph
+        assert (graph.event_counts == 0).sum() > 0  # some inactive existed
+        assert spotify_trace.workload.event_rates.min() >= 1
+
+    def test_describe_mentions_name(self, spotify_trace):
+        assert "spotify" in spotify_trace.describe()

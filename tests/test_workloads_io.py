@@ -1,0 +1,105 @@
+"""Tests for workload serialization and sampling."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core import Workload
+from repro.workloads import (
+    load_workload,
+    sample_subscribers,
+    save_workload,
+    uniform_workload,
+    zipf_workload,
+)
+
+
+class TestIO:
+    def test_roundtrip(self, tmp_path, small_zipf):
+        path = tmp_path / "trace.npz"
+        save_workload(small_zipf, path)
+        loaded = load_workload(path)
+        assert loaded.num_topics == small_zipf.num_topics
+        assert loaded.num_subscribers == small_zipf.num_subscribers
+        assert np.array_equal(loaded.event_rates, small_zipf.event_rates)
+        assert loaded.message_size_bytes == small_zipf.message_size_bytes
+        for v in range(small_zipf.num_subscribers):
+            assert np.array_equal(loaded.interest(v), small_zipf.interest(v))
+
+    def test_roundtrip_with_empty_interest(self, tmp_path):
+        w = Workload([3.0], [[], [0], []])
+        path = tmp_path / "w.npz"
+        save_workload(w, path)
+        loaded = load_workload(path)
+        assert loaded.num_subscribers == 3
+        assert loaded.interest(0).size == 0
+        assert loaded.interest(1).tolist() == [0]
+
+    def test_bad_version_rejected(self, tmp_path, small_zipf):
+        path = tmp_path / "trace.npz"
+        save_workload(small_zipf, path)
+        data = dict(np.load(path))
+        data["version"] = np.int64(99)
+        np.savez(path, **data)
+        with pytest.raises(ValueError, match="version"):
+            load_workload(path)
+
+
+class TestSampling:
+    def test_fraction_one_returns_same(self, small_zipf):
+        assert sample_subscribers(small_zipf, 1.0) is small_zipf
+
+    def test_half_sample_size(self, small_zipf):
+        sampled = sample_subscribers(small_zipf, 0.5, seed=1)
+        assert sampled.num_subscribers == 100
+        assert sampled.num_topics == small_zipf.num_topics
+
+    def test_minimum_one_subscriber(self, small_zipf):
+        sampled = sample_subscribers(small_zipf, 1e-6, seed=1)
+        assert sampled.num_subscribers == 1
+
+    def test_deterministic(self, small_zipf):
+        a = sample_subscribers(small_zipf, 0.3, seed=7)
+        b = sample_subscribers(small_zipf, 0.3, seed=7)
+        assert all(
+            np.array_equal(a.interest(v), b.interest(v))
+            for v in range(a.num_subscribers)
+        )
+
+    def test_invalid_fraction(self, small_zipf):
+        with pytest.raises(ValueError):
+            sample_subscribers(small_zipf, 0.0)
+        with pytest.raises(ValueError):
+            sample_subscribers(small_zipf, 1.5)
+
+
+class TestSyntheticGenerators:
+    def test_zipf_rates_decreasing(self):
+        w = zipf_workload(20, 50, seed=0)
+        rates = w.event_rates
+        assert all(rates[i] >= rates[i + 1] for i in range(19))
+        assert rates.min() >= 1
+
+    def test_zipf_determinism(self):
+        a = zipf_workload(20, 50, seed=2)
+        b = zipf_workload(20, 50, seed=2)
+        assert np.array_equal(a.event_rates, b.event_rates)
+        assert a.num_pairs == b.num_pairs
+
+    def test_uniform_bounds(self):
+        w = uniform_workload(10, 30, rate_low=5, rate_high=9, seed=0)
+        assert w.event_rates.min() >= 5
+        assert w.event_rates.max() <= 10
+
+    def test_interest_sizes_at_least_one(self):
+        w = uniform_workload(10, 50, mean_interest=0.1, seed=0)
+        assert all(w.interest(v).size >= 1 for v in range(50))
+
+    def test_invalid_populations(self):
+        with pytest.raises(ValueError):
+            zipf_workload(0, 10)
+        with pytest.raises(ValueError):
+            uniform_workload(10, 0)
+        with pytest.raises(ValueError):
+            uniform_workload(10, 10, rate_low=0)
