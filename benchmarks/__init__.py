@@ -1,0 +1,11 @@
+"""Per-figure paper benchmarks (a proper package so ``.conftest`` resolves).
+
+These are *benchmarks*, not unit tests: they regenerate one paper
+figure each at laptop scale and are excluded from the default pytest
+invocation (``testpaths = ["tests"]`` in ``pyproject.toml``).  Run them
+explicitly with::
+
+    PYTHONPATH=src python -m pytest benchmarks/ --benchmark-only -s
+
+Scale with ``MCSS_BENCH_USERS`` (default 8000).
+"""

@@ -4,6 +4,13 @@ Paper expectations: RSP is faster than GSP (it inspects fewer pairs),
 both are near-constant in tau, and the Twitter trace costs much more
 than Spotify purely by size.  Absolute seconds differ (C++/Xeon there,
 Python here); the ordering is what must hold.
+
+One caveat since the vectorization PR: the paper's "RSP beats GSP"
+claim is about algorithmic work, so it is asserted on the loop-form
+``LoopGreedySelectPairs`` row (same implementation style as RSP).
+The default vectorized GSP routinely beats the per-subscriber RSP
+loop despite inspecting every pair -- that reversal is the point of
+the vectorization, not a reproduction failure.
 """
 
 from __future__ import annotations
@@ -46,8 +53,9 @@ def test_fig5_stage1_runtime_twitter(benchmark, twitter_trace, twitter_plans):
     print(result.render())
     # GSP looks at every pair; RSP stops early.  At tau=10 the gap is
     # clearest (RSP grabs the first pair or two per subscriber).
+    # Asserted on the loop form: see the module docstring.
     assert (
-        result.seconds["GreedySelectPairs"][10]
+        result.seconds["LoopGreedySelectPairs"][10]
         >= result.seconds["RandomSelectPairs"][10] * 0.8
     )
 

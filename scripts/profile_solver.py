@@ -1,0 +1,133 @@
+#!/usr/bin/env python
+"""Profile the MCSS solver's stage1 / stage2 / validate hot paths.
+
+Times the vectorized implementations against the retained loop
+referees on one synthetic Zipf workload and prints the timing table
+used to verify this PR's acceptance criterion: vectorized ``select`` +
+``validate_placement`` must be >= 10x faster than the loop
+implementations at 100k subscribers.
+
+Usage::
+
+    PYTHONPATH=src python scripts/profile_solver.py [num_users] [tau]
+
+    num_users  defaults to $MCSS_PROFILE_USERS or 100000
+    tau        defaults to 100
+
+Pass a smaller ``num_users`` (e.g. 2000, as the CI smoke job does) for
+a quick run; the speedup factors are printed either way.
+"""
+
+from __future__ import annotations
+
+import os
+import sys
+import time
+
+from repro.core import MCSSProblem, validate_placement, validate_placement_loop
+from repro.packing import CBPOptions, CustomBinPacking
+from repro.pricing import (
+    LinearBandwidthCost,
+    LinearVMCost,
+    PricingPlan,
+    get_instance,
+)
+from repro.selection import GreedySelectPairs, LoopGreedySelectPairs
+from repro.workloads import zipf_workload
+
+
+def _timed(fn, repeats: int = 3):
+    """Run ``fn`` once for the result, then time ``repeats`` runs (best-of).
+
+    The first (untimed) call doubles as a warm-up so both the
+    vectorized and the loop implementations measure steady state --
+    lazily cached workload views (interest materialization, sorted
+    orders, rate sums) are shared and warm for both sides, which is
+    the regime the experiment ladder runs in (one workload, many
+    select/validate calls across taus and rungs).
+    """
+    out = fn()
+    best = float("inf")
+    for _ in range(repeats):
+        t0 = time.perf_counter()
+        fn()
+        best = min(best, time.perf_counter() - t0)
+    return out, best
+
+
+def main(argv) -> int:
+    num_users = int(argv[1]) if len(argv) > 1 else int(
+        os.environ.get("MCSS_PROFILE_USERS", "100000")
+    )
+    tau = float(argv[2]) if len(argv) > 2 else 100.0
+    num_topics = max(100, num_users // 50)
+
+    print(f"building zipf workload: {num_users} subscribers, {num_topics} topics ...")
+    t0 = time.perf_counter()
+    workload = zipf_workload(num_topics, num_users, mean_interest=8.0, seed=7)
+    print(f"  built in {time.perf_counter() - t0:.2f}s: {workload!r}")
+
+    # Generous per-VM capacity so stage 2 stays out of the way of the
+    # stage1/validate comparison but still packs onto multiple VMs.
+    capacity = (
+        max(2.5 * float(workload.event_rates.max()), float(workload.event_rates.sum()) / 8.0)
+        * workload.message_size_bytes
+    )
+    plan = PricingPlan(
+        instance=get_instance("c3.large"),
+        period_hours=1.0,
+        bandwidth_cost=LinearBandwidthCost(0.12),
+        vm_cost=LinearVMCost(10.0),
+        capacity_bytes_override=float(capacity),
+    )
+    problem = MCSSProblem(workload, tau, plan)
+
+    rows = []
+
+    selection, fast_sel_s = _timed(lambda: GreedySelectPairs().select(problem))
+    loop_selection, loop_sel_s = _timed(lambda: LoopGreedySelectPairs().select(problem))
+    assert selection == loop_selection, "vectorized GSP diverged from loop GSP"
+    rows.append(("stage1 select (GSP)", fast_sel_s, loop_sel_s))
+
+    placement, pack_s = _timed(
+        lambda: CustomBinPacking(CBPOptions.ladder("e")).pack(problem, selection),
+        repeats=1,
+    )
+    rows.append(("stage2 pack (CBP e)", pack_s, None))
+
+    report, fast_val_s = _timed(lambda: validate_placement(problem, placement))
+    loop_report, loop_val_s = _timed(lambda: validate_placement_loop(problem, placement))
+    assert report.ok == loop_report.ok, "validator verdicts diverged"
+    assert report.ok, f"solver produced an invalid placement: {report}"
+    rows.append(("validate_placement", fast_val_s, loop_val_s))
+
+    print()
+    print(f"{'phase':<22} {'vectorized':>12} {'loop':>12} {'speedup':>9}")
+    print("-" * 58)
+    total_fast = total_loop = 0.0
+    for name, fast_s, loop_s in rows:
+        if loop_s is None:
+            print(f"{name:<22} {fast_s:>11.3f}s {'-':>12} {'-':>9}")
+            continue
+        total_fast += fast_s
+        total_loop += loop_s
+        print(f"{name:<22} {fast_s:>11.3f}s {loop_s:>11.3f}s {loop_s / fast_s:>8.1f}x")
+    print("-" * 58)
+    combined = total_loop / total_fast if total_fast else float("inf")
+    print(
+        f"{'select + validate':<22} {total_fast:>11.3f}s {total_loop:>11.3f}s "
+        f"{combined:>8.1f}x"
+    )
+    print()
+    print(f"placement: {placement!r}, cost {problem.cost_of(placement)}")
+    # MCSS_PROFILE_TARGET=0 relaxes only the speedup bar (CI smoke at
+    # tiny scales); the equivalence/validity assertions above always
+    # hold the exit code hostage.
+    target = float(os.environ.get("MCSS_PROFILE_TARGET", "10"))
+    verdict = "PASS" if combined >= target else "BELOW TARGET"
+    print(f"acceptance (>= {target:.0f}x select+validate): {verdict}")
+    return 0 if combined >= target else 1
+
+
+if __name__ == "__main__":
+    raise SystemExit(main(sys.argv))

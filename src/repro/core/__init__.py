@@ -12,14 +12,17 @@ from .satisfaction import (
     all_satisfied,
     delivered_rate,
     delivered_rates,
+    delivered_rates_from_arrays,
     is_satisfied,
     satisfaction_slack,
     satisfied_mask,
+    selection_all_satisfied,
+    selection_satisfied_mask,
     subscriber_threshold,
     subscriber_thresholds,
     unsatisfied_subscribers,
 )
-from .validation import ValidationReport, validate_placement
+from .validation import ValidationReport, validate_placement, validate_placement_loop
 from .workload import Pair, Workload, WorkloadStats, build_workload
 
 __all__ = [
@@ -32,14 +35,18 @@ __all__ = [
     "all_satisfied",
     "delivered_rate",
     "delivered_rates",
+    "delivered_rates_from_arrays",
     "is_satisfied",
     "satisfaction_slack",
     "satisfied_mask",
+    "selection_all_satisfied",
+    "selection_satisfied_mask",
     "subscriber_threshold",
     "subscriber_thresholds",
     "unsatisfied_subscribers",
     "ValidationReport",
     "validate_placement",
+    "validate_placement_loop",
     "Pair",
     "Workload",
     "WorkloadStats",

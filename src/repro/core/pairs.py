@@ -10,6 +10,17 @@ subscribers``) because Stage 2's main optimization -- "grouping of
 pairs by topics" (optimization (b) in Section IV-D) -- needs exactly
 this view, and because it is far more compact than materializing one
 tuple per pair for multi-million-pair workloads.
+
+Two fast paths support the vectorized Stage-1/validation code:
+
+* :meth:`PairSelection.from_trusted_arrays` skips the per-topic
+  ``np.unique`` re-validation for callers (like the vectorized GSP)
+  that construct the groups by whole-array NumPy passes and can
+  guarantee uniqueness by construction;
+* :meth:`PairSelection.pair_arrays` exposes the selection as two flat
+  parallel arrays ``(topics, subscribers)``, the form the vectorized
+  satisfaction reductions consume without materializing per-subscriber
+  Python dictionaries.
 """
 
 from __future__ import annotations
@@ -26,7 +37,7 @@ __all__ = ["PairSelection"]
 class PairSelection:
     """An immutable set of selected ``(t, v)`` pairs, grouped by topic."""
 
-    __slots__ = ("_by_topic", "_num_pairs")
+    __slots__ = ("_by_topic", "_num_pairs", "_pair_arrays")
 
     def __init__(self, by_topic: Mapping[int, Sequence[int]]) -> None:
         grouped: Dict[int, np.ndarray] = {}
@@ -42,10 +53,38 @@ class PairSelection:
             total += int(arr.size)
         self._by_topic = grouped
         self._num_pairs = total
+        self._pair_arrays = None
 
     # ------------------------------------------------------------------
     # Construction helpers
     # ------------------------------------------------------------------
+    @classmethod
+    def from_trusted_arrays(
+        cls, by_topic: Mapping[int, np.ndarray]
+    ) -> "PairSelection":
+        """Adopt pre-validated per-topic subscriber arrays without checks.
+
+        Contract (the caller vouches for all of it): every value is a
+        non-empty ``int64`` array with **no duplicate subscribers**, and
+        every key is a non-negative topic id.  The arrays are adopted
+        as-is (marked read-only, not copied), so the caller must not
+        mutate them afterwards.  This is the fast path used by the
+        vectorized GSP selector, which derives the groups from a global
+        lexsort and therefore knows they are duplicate-free; going
+        through ``__init__`` would redundantly re-sort every group via
+        ``np.unique``.
+        """
+        self = cls.__new__(cls)
+        grouped: Dict[int, np.ndarray] = {}
+        total = 0
+        for t, arr in by_topic.items():
+            arr.setflags(write=False)
+            grouped[int(t)] = arr
+            total += int(arr.size)
+        self._by_topic = grouped
+        self._num_pairs = total
+        self._pair_arrays = None
+        return self
     @classmethod
     def from_pairs(cls, pairs: Iterable[Pair]) -> "PairSelection":
         """Build from an iterable of ``(t, v)`` tuples."""
@@ -100,6 +139,34 @@ class PairSelection:
     def pair_count(self, topic: int) -> int:
         """Number of selected pairs for a topic."""
         return int(self.subscribers_of(topic).size)
+
+    def pair_arrays(self) -> Tuple[np.ndarray, np.ndarray]:
+        """The selection as flat parallel ``(topics, subscribers)`` arrays.
+
+        Topic-major (one run per topic, in insertion order), built once
+        and cached.  This is the input format of the vectorized
+        satisfaction reductions in :mod:`repro.core.satisfaction`.
+        """
+        cached = self._pair_arrays
+        if cached is None:
+            if self._num_pairs:
+                topics = np.repeat(
+                    np.fromiter(self._by_topic, dtype=np.int64, count=len(self._by_topic)),
+                    np.fromiter(
+                        (a.size for a in self._by_topic.values()),
+                        dtype=np.int64,
+                        count=len(self._by_topic),
+                    ),
+                )
+                subs = np.concatenate(list(self._by_topic.values()))
+            else:
+                topics = np.empty(0, dtype=np.int64)
+                subs = np.empty(0, dtype=np.int64)
+            topics.setflags(write=False)
+            subs.setflags(write=False)
+            cached = (topics, subs)
+            self._pair_arrays = cached
+        return cached
 
     def __contains__(self, pair: Pair) -> bool:
         t, v = pair

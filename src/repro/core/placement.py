@@ -20,13 +20,12 @@ of the pricing catalog.
 
 from __future__ import annotations
 
-from dataclasses import dataclass
-from typing import Dict, Iterable, Iterator, List, Mapping, Optional, Sequence, Tuple
+from typing import Dict, Iterable, Iterator, List, Optional, Sequence, Tuple
 
 import numpy as np
 
 from .pairs import PairSelection
-from .workload import Pair, Workload
+from .workload import Workload
 
 __all__ = ["VirtualMachine", "Placement", "CapacityError"]
 
@@ -168,6 +167,9 @@ class Placement:
         self._vms: List[VirtualMachine] = []
         # (vm index, topic) -> list of subscriber ids
         self._members: Dict[Tuple[int, int], List[int]] = {}
+        # Flat-array view cache (see assignment_arrays).
+        self._mutations = 0
+        self._flat_cache: Optional[Tuple[int, Tuple[np.ndarray, ...]]] = None
 
     # -- construction ----------------------------------------------------
     def new_vm(self) -> int:
@@ -183,6 +185,7 @@ class Placement:
         topic_bytes = self.topic_bytes(topic)
         self._vms[vm_index].add_pairs(topic, topic_bytes, len(subs))
         self._members.setdefault((vm_index, topic), []).extend(subs)
+        self._mutations += 1
 
     def topic_bytes(self, topic: int) -> float:
         """Byte rate of one copy of a topic's event stream."""
@@ -235,6 +238,35 @@ class Placement:
         """Yield ``(vm_index, topic, subscribers)`` triples."""
         for (b, t), subs in self._members.items():
             yield b, t, list(subs)
+
+    def assignment_arrays(self) -> Tuple[np.ndarray, np.ndarray, np.ndarray, np.ndarray]:
+        """The assignments as flat arrays (vectorized-validator view).
+
+        Returns ``(vm_ids, topics, sizes, subscribers)``: one entry per
+        (vm, topic) group in :meth:`iter_assignments` order, plus the
+        concatenated subscriber ids (group-major).  Cached until the
+        next :meth:`assign`, so repeated audits of a finished placement
+        flatten the Python-level member lists only once.
+        """
+        cached = self._flat_cache
+        if cached is not None and cached[0] == self._mutations:
+            return cached[1]
+        groups = len(self._members)
+        vm_ids = np.empty(groups, dtype=np.int64)
+        topics = np.empty(groups, dtype=np.int64)
+        sizes = np.empty(groups, dtype=np.int64)
+        chunks: List[np.ndarray] = []
+        for g, ((b, t), subs) in enumerate(self._members.items()):
+            vm_ids[g] = b
+            topics[g] = t
+            sizes[g] = len(subs)
+            chunks.append(np.asarray(subs, dtype=np.int64))
+        subscribers = (
+            np.concatenate(chunks) if chunks else np.empty(0, dtype=np.int64)
+        )
+        arrays = (vm_ids, topics, sizes, subscribers)
+        self._flat_cache = (self._mutations, arrays)
+        return arrays
 
     def topics_by_subscriber(self) -> Dict[int, List[int]]:
         """``subscriber -> distinct topics delivered`` over the fleet.

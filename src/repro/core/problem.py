@@ -120,12 +120,14 @@ class MCSSProblem:
         )
 
     def selection_is_sufficient(self, selection: PairSelection) -> bool:
-        """Whether a Stage-1 selection satisfies every subscriber."""
-        from .satisfaction import all_satisfied
+        """Whether a Stage-1 selection satisfies every subscriber.
 
-        return all_satisfied(
-            self.workload, selection.topics_by_subscriber(), self.tau
-        )
+        Runs on the selection's flat pair arrays (vectorized), so no
+        per-subscriber dictionary is materialized.
+        """
+        from .satisfaction import selection_all_satisfied
+
+        return selection_all_satisfied(self.workload, selection, self.tau)
 
     def __repr__(self) -> str:  # pragma: no cover - cosmetic
         return (

@@ -9,26 +9,65 @@ subscriber-specific threshold
 where ``tau`` is the system-wide satisfaction threshold.  Delivering
 more than ``tau_v`` brings no extra benefit (the subscriber is a human
 reader), which is exactly the slack the MCSS optimization exploits.
+
+Vectorized engine
+-----------------
+The whole-population checks (:func:`delivered_rates`,
+:func:`satisfied_mask`, :func:`satisfaction_slack`) are whole-array
+NumPy reductions over flat ``(topic, subscriber)`` pair arrays rather
+than per-subscriber Python loops:
+
+1. each delivered pair ``(t, v)`` is located inside the workload's
+   per-subscriber-sorted CSR interests
+   (:meth:`repro.core.workload.Workload.sorted_interest_topics`) by a
+   *segmented* vectorized binary search -- ``O(log |Tv|)`` bisection
+   steps executed for all pairs at once;
+2. pairs outside the subscriber's interest simply find no slot and are
+   dropped (Equation (3) only sums over ``t in Tv``);
+3. duplicates (a topic delivered from several VMs counts once) are
+   collapsed by scattering onto the found pair slots -- no sort;
+4. per-subscriber delivered rates are a single ``np.bincount`` with
+   the topic rates as weights.
+
+:func:`delivered_rates_from_arrays` is the raw entry point;
+the mapping-based functions convert their ``subscriber -> topics``
+mapping to flat arrays first, and :func:`selection_satisfied_mask` /
+:func:`selection_all_satisfied` consume a
+:class:`~repro.core.pairs.PairSelection` with no Python-level
+per-subscriber work at all.
+
+Equivalence contract: the vectorized reductions compute the same
+delivered-rate sums as the per-subscriber :func:`delivered_rate`
+referee, with summation order differences bounded by float rounding --
+bit-identical whenever the partial sums are exactly representable
+(e.g. integer-valued event rates, which is what every generator in
+:mod:`repro.workloads` produces).  The randomized suite in
+``tests/test_vectorized_equivalence.py`` pins this down.
 """
 
 from __future__ import annotations
 
-from typing import Dict, Iterable, List, Mapping, Sequence, Set, Tuple
+from typing import Iterable, List, Mapping, Set, Tuple
 
 import numpy as np
 
-from .workload import Pair, Workload
+from .pairs import PairSelection
+from .segsearch import segmented_left_search
+from .workload import Workload
 
 __all__ = [
     "subscriber_threshold",
     "subscriber_thresholds",
     "delivered_rate",
     "delivered_rates",
+    "delivered_rates_from_arrays",
     "is_satisfied",
     "satisfied_mask",
     "all_satisfied",
     "unsatisfied_subscribers",
     "satisfaction_slack",
+    "selection_satisfied_mask",
+    "selection_all_satisfied",
 ]
 
 
@@ -54,6 +93,10 @@ def delivered_rate(
     Topics outside the subscriber's interest are ignored: a broker may
     host extra topics, but only topics in ``Tv`` count towards the
     satisfaction of ``v`` (Equation (3) only sums over ``t in Tv``).
+
+    This is the scalar referee the vectorized reductions are tested
+    against; use :func:`delivered_rates_from_arrays` for whole
+    populations.
     """
     interest = set(workload.interest(subscriber).tolist())
     rates = workload.event_rates
@@ -66,14 +109,103 @@ def delivered_rate(
     return total
 
 
+def _segmented_find(
+    values: np.ndarray, lo: np.ndarray, hi: np.ndarray, target: np.ndarray
+) -> np.ndarray:
+    """Per-lane leftmost index ``i`` in ``[lo, hi)`` with ``values[i] >= target``.
+
+    ``values`` must be ascending inside every ``[lo, hi)`` window (the
+    per-subscriber sorted interests).  Returns ``hi`` when no element
+    qualifies.
+    """
+    return segmented_left_search(values, lo, hi, target, np.greater_equal)
+
+
+def delivered_rates_from_arrays(
+    workload: Workload,
+    pair_topics: np.ndarray,
+    pair_subscribers: np.ndarray,
+    *,
+    assume_unique: bool = False,
+) -> np.ndarray:
+    """Vector of delivered rates from flat parallel pair arrays.
+
+    ``pair_topics[i]`` was delivered to ``pair_subscribers[i]``.
+    Duplicate pairs count once (pass ``assume_unique=True`` to skip the
+    dedup when the caller guarantees it); pairs whose topic is not in
+    the subscriber's interest -- or that reference unknown ids -- are
+    ignored, matching :func:`delivered_rate`.
+    """
+    n = workload.num_subscribers
+    num_topics = workload.num_topics
+    topics = np.asarray(pair_topics, dtype=np.int64)
+    subs = np.asarray(pair_subscribers, dtype=np.int64)
+    if num_topics == 0 or topics.size == 0 or workload.num_pairs == 0:
+        return np.zeros(n, dtype=np.float64)
+
+    valid = (topics >= 0) & (topics < num_topics) & (subs >= 0) & (subs < n)
+    if not valid.all():
+        topics, subs = topics[valid], subs[valid]
+
+    # Locate each delivered pair inside the subscriber's sorted
+    # interest segment; misses (topic not in Tv) fall out naturally.
+    sorted_topics = workload.sorted_interest_topics()
+    indptr = workload.interest_indptr
+    lo = indptr[subs]
+    hi = indptr[subs + 1]
+    slot = _segmented_find(sorted_topics, lo, hi, topics)
+    slot_clipped = np.minimum(slot, sorted_topics.size - 1)
+    member = (slot < hi) & (sorted_topics[slot_clipped] == topics)
+
+    if assume_unique:
+        hit_subs = subs[member]
+        hit_topics = topics[member]
+    else:
+        # Dedup by scattering onto the found pair slots: a pair slot is
+        # unique per (v, t), and scattering beats sorting the keys.
+        seen = np.zeros(sorted_topics.size, dtype=bool)
+        seen[slot_clipped[member]] = True
+        hits = np.flatnonzero(seen)
+        hit_subs = workload.pair_subscribers()[hits]
+        hit_topics = sorted_topics[hits]
+    return np.bincount(
+        hit_subs,
+        weights=workload.event_rates[hit_topics],
+        minlength=n,
+    )
+
+
+def _mapping_to_pair_arrays(
+    topics_by_subscriber: Mapping[int, Iterable[int]],
+) -> Tuple[np.ndarray, np.ndarray]:
+    """Flatten a ``subscriber -> topics`` mapping into parallel arrays."""
+    if not topics_by_subscriber:
+        empty = np.empty(0, dtype=np.int64)
+        return empty, empty
+    chunks: List[np.ndarray] = []
+    owners: List[int] = []
+    sizes: List[int] = []
+    for v, topics in topics_by_subscriber.items():
+        if isinstance(topics, np.ndarray):
+            arr = topics.astype(np.int64, copy=False)
+        else:
+            arr = np.fromiter((int(t) for t in topics), dtype=np.int64)
+        chunks.append(arr)
+        owners.append(int(v))
+        sizes.append(arr.size)
+    flat_topics = np.concatenate(chunks)
+    flat_subs = np.repeat(
+        np.asarray(owners, dtype=np.int64), np.asarray(sizes, dtype=np.int64)
+    )
+    return flat_topics, flat_subs
+
+
 def delivered_rates(
     workload: Workload, pairs_by_subscriber: Mapping[int, Iterable[int]]
 ) -> np.ndarray:
     """Vector of delivered rates given a per-subscriber topic mapping."""
-    out = np.zeros(workload.num_subscribers, dtype=np.float64)
-    for v, topics in pairs_by_subscriber.items():
-        out[v] = delivered_rate(workload, v, topics)
-    return out
+    topics, subs = _mapping_to_pair_arrays(pairs_by_subscriber)
+    return delivered_rates_from_arrays(workload, topics, subs)
 
 
 def is_satisfied(
@@ -104,10 +236,40 @@ def satisfied_mask(
 ) -> np.ndarray:
     """Boolean vector ``f_v`` over all subscribers (Equation (3))."""
     thresholds = subscriber_thresholds(workload, tau)
-    got = np.zeros(workload.num_subscribers, dtype=np.float64)
-    for v, topics in topics_by_subscriber.items():
-        got[v] = delivered_rate(workload, v, topics)
+    got = delivered_rates(workload, topics_by_subscriber)
     return got >= thresholds * (1.0 - rel_tol)
+
+
+def selection_satisfied_mask(
+    workload: Workload,
+    selection: PairSelection,
+    tau: float,
+    *,
+    rel_tol: float = 1e-9,
+) -> np.ndarray:
+    """:func:`satisfied_mask` straight from a :class:`PairSelection`.
+
+    Uses the selection's cached flat pair arrays, so no per-subscriber
+    dictionary is ever materialized -- the fast path for Stage-1
+    sufficiency checks on large workloads.
+    """
+    thresholds = subscriber_thresholds(workload, tau)
+    topics, subs = selection.pair_arrays()
+    got = delivered_rates_from_arrays(workload, topics, subs, assume_unique=True)
+    return got >= thresholds * (1.0 - rel_tol)
+
+
+def selection_all_satisfied(
+    workload: Workload,
+    selection: PairSelection,
+    tau: float,
+    *,
+    rel_tol: float = 1e-9,
+) -> bool:
+    """Whether a selection satisfies every subscriber (Equation (2))."""
+    return bool(
+        selection_satisfied_mask(workload, selection, tau, rel_tol=rel_tol).all()
+    )
 
 
 def all_satisfied(
@@ -147,7 +309,5 @@ def satisfaction_slack(
     heuristic tries to keep this small.
     """
     thresholds = subscriber_thresholds(workload, tau)
-    got = np.zeros(workload.num_subscribers, dtype=np.float64)
-    for v, topics in topics_by_subscriber.items():
-        got[v] = delivered_rate(workload, v, topics)
+    got = delivered_rates(workload, topics_by_subscriber)
     return got - thresholds

@@ -1,0 +1,52 @@
+"""Lane-parallel segmented binary search (shared vectorized primitive).
+
+Several hot paths bisect *per-subscriber windows* of one big flat
+array simultaneously -- the GSP sweep over rate-descending segments,
+the satisfaction membership test over sorted interest segments, the
+overshoot recovery over running skip counts.  They all reduce to the
+same branchless lane-parallel bisection, differing only in the
+comparison that decides "answer is at or left of mid"; this module is
+its single implementation.
+"""
+
+from __future__ import annotations
+
+from typing import Callable
+
+import numpy as np
+
+__all__ = ["segmented_left_search"]
+
+
+def segmented_left_search(
+    values: np.ndarray,
+    lo: np.ndarray,
+    hi: np.ndarray,
+    target: np.ndarray,
+    go_left_when: Callable[[np.ndarray, np.ndarray], np.ndarray],
+) -> np.ndarray:
+    """Per-lane leftmost index ``i`` in ``[lo, hi)`` satisfying the predicate.
+
+    ``go_left_when(values[mid], target)`` must be monotone inside every
+    window: False ... False True ... True along the window (e.g.
+    ``np.greater_equal`` over ascending values, ``np.less_equal`` over
+    descending ones).  Returns ``hi`` for lanes where no index
+    satisfies it.
+
+    Branchless lane-parallel bisection: every lane advances one step
+    per iteration, so the body runs ``ceil(log2(max_window + 1))``
+    times however many lanes there are.
+    """
+    if lo.size == 0:
+        return lo.copy()
+    lo = lo.copy()
+    hi = hi.copy()
+    size = values.size
+    span = int((hi - lo).max())
+    for _ in range(max(span, 0).bit_length()):
+        mid = (lo + hi) >> 1
+        # Converged lanes (lo == hi) are forced left so they stay put.
+        go_left = go_left_when(values[np.minimum(mid, size - 1)], target) | (lo >= hi)
+        hi = np.where(go_left, mid, hi)
+        lo = np.where(go_left, lo, mid + 1)
+    return lo

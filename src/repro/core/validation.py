@@ -10,20 +10,41 @@ re-derives from first principles that
 3. the placement's incremental bandwidth bookkeeping matches a from-
    scratch recomputation (guards against accounting bugs in solvers).
 
-The validator is deliberately written in the most direct style possible
--- no shared code with the solvers -- so that a bug in a solver cannot
-hide inside the referee.
+Two implementations are provided:
+
+* :func:`validate_placement` -- the default: per-VM bandwidth via
+  ``np.bincount`` over the flat assignment arrays, and the
+  satisfaction half via the vectorized pair-key reductions of
+  :mod:`repro.core.satisfaction` (dedup with ``np.unique``, interest
+  membership with ``np.searchsorted``, delivered rates with
+  ``np.bincount``).  O(P log P) whole-array work instead of a Python
+  loop over subscribers -- this is what makes ``solve()`` viable at
+  100k+ subscribers, where the loop referee dominated the runtime.
+* :func:`validate_placement_loop` -- the original direct-style loop,
+  deliberately sharing no code with the solvers *or* with the
+  vectorized validator, kept as the slow referee.  The randomized
+  equivalence suite asserts both produce identical verdicts, so a bug
+  in the vectorized fast path cannot hide.
+
+Equivalence contract: both validators compute the same verdict fields
+(``capacity_ok``, ``satisfaction_ok``, ``accounting_ok``,
+``overloaded_vms``, ``unsatisfied_subscribers``); summation-order
+float differences are bounded by the ``_REL_TOL``/``_ABS_TOL``
+comparisons and vanish for integer-valued event rates.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Set, Tuple
+from typing import Dict, List, Set
+
+import numpy as np
 
 from .placement import Placement
 from .problem import MCSSProblem
+from .satisfaction import delivered_rates_from_arrays
 
-__all__ = ["ValidationReport", "validate_placement"]
+__all__ = ["ValidationReport", "validate_placement", "validate_placement_loop"]
 
 _REL_TOL = 1e-9
 _ABS_TOL = 1e-6
@@ -57,7 +78,102 @@ class ValidationReport:
 
 
 def validate_placement(problem: MCSSProblem, placement: Placement) -> ValidationReport:
-    """Audit a placement; see the module docstring for the checks."""
+    """Audit a placement; see the module docstring for the checks.
+
+    Vectorized fast path; :func:`validate_placement_loop` is the
+    independent slow referee with identical verdict semantics.
+    """
+    workload = problem.workload
+    msg_bytes = workload.message_size_bytes
+    rates = workload.event_rates
+    capacity = problem.capacity_bytes
+    num_vms = placement.num_vms
+
+    # Flat assignment view, cached on the placement: one entry per
+    # (vm, topic) group -- orders of magnitude fewer than pairs.
+    vm_arr, topic_arr, size_arr, all_subs = placement.assignment_arrays()
+    topic_bytes = rates[topic_arr] * msg_bytes if topic_arr.size else np.empty(0)
+
+    # Duplicate subscribers inside one (vm, topic) group: one global
+    # sorted pass over (group, subscriber) keys instead of a np.unique
+    # per assignment.
+    duplicate_msgs: List[str] = []
+    if all_subs.size:
+        group_idx = np.repeat(np.arange(vm_arr.size, dtype=np.int64), size_arr)
+        low = int(all_subs.min())
+        span = np.int64(int(all_subs.max()) - low + 1)
+        gkeys = np.sort(group_idx * span + (all_subs - low))
+        dup_pos = np.flatnonzero(gkeys[1:] == gkeys[:-1])
+        if dup_pos.size:
+            for g in np.unique(gkeys[dup_pos] // span).tolist():
+                duplicate_msgs.append(
+                    f"VM {vm_arr[g]} lists duplicate subscribers for "
+                    f"topic {topic_arr[g]}"
+                )
+
+    accounting_ok = not duplicate_msgs
+    messages: List[str] = list(duplicate_msgs)
+
+    # Capacity: Equation (2), per-VM out/in byte rates by bincount.
+    out_bytes = np.bincount(vm_arr, weights=topic_bytes * size_arr, minlength=num_vms)
+    in_bytes = np.bincount(vm_arr, weights=topic_bytes, minlength=num_vms)
+    used = out_bytes + in_bytes
+    recorded = np.asarray([vm.used_bytes for vm in placement.vms], dtype=np.float64)
+
+    over_mask = used > capacity * (1.0 + _REL_TOL) + _ABS_TOL
+    overloaded = [int(b) for b in np.flatnonzero(over_mask)]
+    mismatch = np.abs(recorded - used) > np.maximum(
+        _ABS_TOL, _REL_TOL * np.maximum(recorded, used)
+    )
+    # Interleave the messages per VM, as the loop referee emits them.
+    for b in range(num_vms):
+        if over_mask[b]:
+            messages.append(
+                f"VM {b} uses {used[b]:.1f} B of {capacity:.1f} B capacity"
+            )
+        if mismatch[b]:
+            accounting_ok = False
+            messages.append(
+                f"VM {b} bookkeeping says {recorded[b]:.3f} B but recomputation "
+                f"says {used[b]:.3f} B"
+            )
+
+    # Satisfaction: Equation (3), a pair counts if assigned to >= 1 VM.
+    # Delivered (t, v) pairs, VM identity dropped; dedup + interest
+    # membership + per-subscriber sums all happen inside the vectorized
+    # reduction.
+    flat_topics = (
+        np.repeat(topic_arr, size_arr) if all_subs.size else np.empty(0, dtype=np.int64)
+    )
+    got = delivered_rates_from_arrays(workload, flat_topics, all_subs)
+    thresholds = np.minimum(float(problem.tau), workload.interest_rate_sums())
+    unsat_mask = got < thresholds * (1.0 - _REL_TOL)
+    unsatisfied = [int(v) for v in np.flatnonzero(unsat_mask)]
+    if unsatisfied:
+        shown = ", ".join(str(v) for v in unsatisfied[:10])
+        more = "" if len(unsatisfied) <= 10 else f" (+{len(unsatisfied) - 10} more)"
+        messages.append(f"unsatisfied subscribers: {shown}{more}")
+
+    return ValidationReport(
+        capacity_ok=not overloaded,
+        satisfaction_ok=not unsatisfied,
+        accounting_ok=accounting_ok,
+        overloaded_vms=overloaded,
+        unsatisfied_subscribers=unsatisfied,
+        messages=messages,
+    )
+
+
+def validate_placement_loop(
+    problem: MCSSProblem, placement: Placement
+) -> ValidationReport:
+    """The original per-subscriber loop referee (slow, zero shared code).
+
+    Deliberately written in the most direct style possible -- no shared
+    code with the solvers or the vectorized validator -- so that a bug
+    in either cannot hide inside the referee.  Use only on small
+    instances; it is linear in ``|V|`` with Python-loop constants.
+    """
     workload = problem.workload
     msg_bytes = workload.message_size_bytes
     rates = workload.event_rates
@@ -104,7 +220,10 @@ def validate_placement(problem: MCSSProblem, placement: Placement) -> Validation
             continue  # tau_v == 0: trivially satisfied
         tau_v = min(problem.tau, float(rates[interest].sum()))
         got_topics = delivered.get(v, set())
-        got = sum(float(rates[t]) for t in got_topics if t in set(interest.tolist()))
+        # Hoisted: the interest set is built once per subscriber, not
+        # once per delivered topic.
+        interest_set = set(interest.tolist())
+        got = sum(float(rates[t]) for t in got_topics if t in interest_set)
         if got < tau_v * (1.0 - _REL_TOL):
             unsatisfied.append(v)
     if unsatisfied:

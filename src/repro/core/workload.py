@@ -15,6 +15,28 @@ quantities (reverse index, per-subscriber rate sums, pair counts) are
 computed lazily and cached, because the experiment harness frequently
 builds large workloads and only touches some of the derived views.
 
+CSR interest representation
+---------------------------
+Internally the interests are stored once, in CSR (compressed sparse
+row) form: a flat ``interest_topics`` array holding every subscriber's
+topics back to back, and an ``interest_indptr`` offset array of length
+``n + 1`` such that subscriber ``v``'s interest is
+``interest_topics[indptr[v]:indptr[v+1]]``.  This is the zero-copy
+"one big array" view the vectorized hot paths (Stage-1 GSP in
+:mod:`repro.selection.greedy`, the satisfaction reductions in
+:mod:`repro.core.satisfaction`, and :func:`repro.core.validation.
+validate_placement`) operate on: they replace per-subscriber Python
+loops with whole-array ``np.lexsort`` / ``np.bincount`` /
+``np.searchsorted`` passes over the flat pair arrays.  The classic
+tuple-of-arrays view (:meth:`interest` / :attr:`interests`) is
+materialized lazily as read-only slices of the same flat array.
+
+Construction validation (id range, per-subscriber duplicates) is also
+performed as whole-array passes, so building a million-subscriber
+workload does not loop over subscribers for anything but the initial
+per-subscriber ``np.asarray`` conversion.  :meth:`Workload.from_csr`
+skips even that when the caller already has flat arrays.
+
 Units
 -----
 Event rates are "events per time unit"; the time unit itself is opaque
@@ -27,8 +49,8 @@ meaning (e.g. a 10-day trace period) to the time unit.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Dict, Iterable, Iterator, List, Mapping, Optional, Sequence, Tuple
+from dataclasses import dataclass
+from typing import Iterable, Iterator, List, Mapping, Optional, Sequence, Tuple
 
 import numpy as np
 
@@ -88,13 +110,18 @@ class Workload:
 
     __slots__ = (
         "_event_rates",
+        "_indptr",
+        "_flat_topics",
         "_interests",
         "_message_size_bytes",
         "_topic_labels",
         "_subscriber_labels",
         "_subscribers_of",
         "_interest_rate_sums",
-        "_num_pairs",
+        "_pair_subscribers",
+        "_pair_keys",
+        "_rate_desc_pairs",
+        "_sorted_csr_topics",
     )
 
     def __init__(
@@ -105,6 +132,76 @@ class Workload:
         topic_labels: Optional[Sequence[str]] = None,
         subscriber_labels: Optional[Sequence[str]] = None,
     ) -> None:
+        arrays = [np.asarray(topics, dtype=np.int64) for topics in interests]
+        counts = np.fromiter(
+            (a.size for a in arrays), dtype=np.int64, count=len(arrays)
+        )
+        indptr = np.zeros(len(arrays) + 1, dtype=np.int64)
+        np.cumsum(counts, out=indptr[1:])
+        if arrays:
+            flat = np.concatenate(arrays) if indptr[-1] else np.empty(0, np.int64)
+        else:
+            flat = np.empty(0, dtype=np.int64)
+        self._init_common(
+            event_rates,
+            indptr,
+            flat,
+            message_size_bytes,
+            topic_labels,
+            subscriber_labels,
+            validate=True,
+        )
+
+    @classmethod
+    def from_csr(
+        cls,
+        event_rates: Sequence[float],
+        indptr: Sequence[int],
+        topics: Sequence[int],
+        message_size_bytes: float = 200.0,
+        topic_labels: Optional[Sequence[str]] = None,
+        subscriber_labels: Optional[Sequence[str]] = None,
+        validate: bool = True,
+    ) -> "Workload":
+        """Build directly from CSR arrays (the fast bulk entry point).
+
+        ``indptr`` has length ``n + 1`` with ``indptr[0] == 0`` and
+        monotonically non-decreasing offsets; ``topics`` holds the
+        concatenated interests.  With ``validate=False`` the caller
+        vouches that every topic id is in range and no subscriber lists
+        a topic twice -- the same contract the positional constructor
+        enforces.
+        """
+        self = cls.__new__(cls)
+        ip = np.ascontiguousarray(indptr, dtype=np.int64)
+        if ip.ndim != 1 or ip.size == 0 or ip[0] != 0:
+            raise WorkloadError("indptr must be 1-D, non-empty and start at 0")
+        if ip.size > 1 and (np.diff(ip) < 0).any():
+            raise WorkloadError("indptr must be non-decreasing")
+        flat = np.ascontiguousarray(topics, dtype=np.int64)
+        if flat.ndim != 1 or flat.size != int(ip[-1]):
+            raise WorkloadError("topics length must equal indptr[-1]")
+        self._init_common(
+            event_rates,
+            ip,
+            flat,
+            message_size_bytes,
+            topic_labels,
+            subscriber_labels,
+            validate=validate,
+        )
+        return self
+
+    def _init_common(
+        self,
+        event_rates: Sequence[float],
+        indptr: np.ndarray,
+        flat: np.ndarray,
+        message_size_bytes: float,
+        topic_labels: Optional[Sequence[str]],
+        subscriber_labels: Optional[Sequence[str]],
+        validate: bool,
+    ) -> None:
         rates = np.asarray(event_rates, dtype=np.float64)
         if rates.ndim != 1:
             raise WorkloadError("event_rates must be one-dimensional")
@@ -114,31 +211,27 @@ class Workload:
             )
         if message_size_bytes <= 0:
             raise WorkloadError("message_size_bytes must be positive")
-        rates.setflags(write=False)
-        object.__setattr__(self, "_event_rates", rates)
-
         num_topics = rates.size
-        frozen: List[np.ndarray] = []
-        for v, topics in enumerate(interests):
-            arr = np.asarray(topics, dtype=np.int64)
-            if arr.size:
-                if arr.min() < 0 or arr.max() >= num_topics:
-                    raise WorkloadError(
-                        f"subscriber {v} references a topic id outside "
-                        f"[0, {num_topics})"
-                    )
-                if np.unique(arr).size != arr.size:
-                    raise WorkloadError(
-                        f"subscriber {v} has duplicate topics in its interest"
-                    )
-            arr.setflags(write=False)
-            frozen.append(arr)
-        object.__setattr__(self, "_interests", tuple(frozen))
+        num_subscribers = indptr.size - 1
+
+        if validate and flat.size:
+            self._validate_csr(num_topics, indptr, flat)
+
+        rates = rates.copy() if not rates.flags.owndata else rates
+        rates.setflags(write=False)
+        flat = flat.copy() if not flat.flags.owndata else flat
+        flat.setflags(write=False)
+        indptr = indptr.copy() if not indptr.flags.owndata else indptr
+        indptr.setflags(write=False)
+
+        object.__setattr__(self, "_event_rates", rates)
+        object.__setattr__(self, "_indptr", indptr)
+        object.__setattr__(self, "_flat_topics", flat)
         object.__setattr__(self, "_message_size_bytes", float(message_size_bytes))
 
         if topic_labels is not None and len(topic_labels) != num_topics:
             raise WorkloadError("topic_labels length mismatch")
-        if subscriber_labels is not None and len(subscriber_labels) != len(frozen):
+        if subscriber_labels is not None and len(subscriber_labels) != num_subscribers:
             raise WorkloadError("subscriber_labels length mismatch")
         object.__setattr__(
             self, "_topic_labels", tuple(topic_labels) if topic_labels else None
@@ -149,9 +242,38 @@ class Workload:
             tuple(subscriber_labels) if subscriber_labels else None,
         )
         # Lazy caches.
+        object.__setattr__(self, "_interests", None)
         object.__setattr__(self, "_subscribers_of", None)
         object.__setattr__(self, "_interest_rate_sums", None)
-        object.__setattr__(self, "_num_pairs", None)
+        object.__setattr__(self, "_pair_subscribers", None)
+        object.__setattr__(self, "_pair_keys", None)
+        object.__setattr__(self, "_rate_desc_pairs", None)
+        object.__setattr__(self, "_sorted_csr_topics", None)
+
+    @staticmethod
+    def _validate_csr(num_topics: int, indptr: np.ndarray, flat: np.ndarray) -> None:
+        """Whole-array range and per-subscriber duplicate checks."""
+        bad = (flat < 0) | (flat >= num_topics)
+        if bad.any():
+            pos = int(np.flatnonzero(bad)[0])
+            v = int(np.searchsorted(indptr, pos, side="right")) - 1
+            raise WorkloadError(
+                f"subscriber {v} references a topic id outside "
+                f"[0, {num_topics})"
+            )
+        # Duplicates: sort pairs by (subscriber, topic) and look for an
+        # equal neighbour within the same subscriber segment.
+        subs = np.repeat(
+            np.arange(indptr.size - 1, dtype=np.int64), np.diff(indptr)
+        )
+        order = np.lexsort((flat, subs))
+        st, ss = flat[order], subs[order]
+        dup = (st[1:] == st[:-1]) & (ss[1:] == ss[:-1])
+        if dup.any():
+            v = int(ss[int(np.flatnonzero(dup)[0]) + 1])
+            raise WorkloadError(
+                f"subscriber {v} has duplicate topics in its interest"
+            )
 
     # ------------------------------------------------------------------
     # Basic accessors
@@ -167,7 +289,7 @@ class Workload:
     @property
     def num_subscribers(self) -> int:
         """``n`` -- the number of subscribers."""
-        return len(self._interests)
+        return int(self._indptr.size - 1)
 
     @property
     def event_rates(self) -> np.ndarray:
@@ -185,12 +307,142 @@ class Workload:
 
     def interest(self, subscriber: int) -> np.ndarray:
         """Return ``Tv``: the topics subscribed to by ``subscriber``."""
-        return self._interests[subscriber]
+        return self.interests[subscriber]
 
     @property
     def interests(self) -> Tuple[np.ndarray, ...]:
-        """All interests (``Int`` in the paper's notation)."""
-        return self._interests
+        """All interests (``Int`` in the paper's notation).
+
+        Materialized lazily as read-only views into the flat CSR topic
+        array (no copies).
+        """
+        cached = self._interests
+        if cached is None:
+            if self.num_subscribers == 0:
+                cached = ()
+            else:
+                cached = tuple(
+                    np.split(self._flat_topics, self._indptr[1:-1].tolist())
+                )
+            object.__setattr__(self, "_interests", cached)
+        return cached
+
+    # ------------------------------------------------------------------
+    # CSR views (the representation the vectorized hot paths consume)
+    # ------------------------------------------------------------------
+    @property
+    def interest_indptr(self) -> np.ndarray:
+        """CSR offsets: subscriber ``v`` owns ``topics[indptr[v]:indptr[v+1]]``."""
+        return self._indptr
+
+    @property
+    def interest_topics(self) -> np.ndarray:
+        """Flat topic ids of every ``(t, v)`` pair, subscriber-major."""
+        return self._flat_topics
+
+    def interest_csr(self) -> Tuple[np.ndarray, np.ndarray]:
+        """Return ``(indptr, topics)`` -- the CSR interest arrays."""
+        return self._indptr, self._flat_topics
+
+    def pair_subscribers(self) -> np.ndarray:
+        """Subscriber id of every flat pair (``np.repeat`` of ``arange``).
+
+        Together with :attr:`interest_topics` this materializes the
+        workload's pair list as two parallel arrays; cached because
+        every vectorized hot path starts from it.
+        """
+        cached = self._pair_subscribers
+        if cached is None:
+            cached = np.repeat(
+                np.arange(self.num_subscribers, dtype=np.int64),
+                np.diff(self._indptr),
+            )
+            cached.setflags(write=False)
+            object.__setattr__(self, "_pair_subscribers", cached)
+        return cached
+
+    def pair_keys(self) -> np.ndarray:
+        """Sorted packed keys ``v * num_topics + t`` of every pair.
+
+        The sorted-key form supports O(log P) vectorized membership
+        tests ("is ``(t, v)`` one of the workload's pairs?") via
+        ``np.searchsorted`` -- the core primitive of the vectorized
+        satisfaction checks.  Empty when the workload has no topics.
+        """
+        cached = self._pair_keys
+        if cached is None:
+            if self.num_topics:
+                keys = self.pair_subscribers() * np.int64(self.num_topics)
+                keys = keys + self._flat_topics
+                keys = np.sort(keys)
+            else:
+                keys = np.empty(0, dtype=np.int64)
+            keys.setflags(write=False)
+            cached = keys
+            object.__setattr__(self, "_pair_keys", cached)
+        return cached
+
+    def sorted_interest_topics(self) -> np.ndarray:
+        """Flat interest topics, ascending *within* each subscriber.
+
+        Shares :attr:`interest_indptr` with the raw CSR view; cached.
+        Per-subscriber sortedness turns interest-membership queries
+        ("is topic ``t`` in ``Tv``?") into a segmented binary search of
+        ``O(log |Tv|)`` steps -- the primitive behind the vectorized
+        satisfaction reductions.
+        """
+        cached = self._sorted_csr_topics
+        if cached is None:
+            if self.num_topics:
+                # pair_keys is sorted by (subscriber, topic); taking the
+                # topic component back out yields the per-subscriber
+                # ascending order in one pass, sharing that cache.
+                cached = self.pair_keys() % np.int64(self.num_topics)
+            else:
+                cached = np.empty(0, dtype=np.int64)
+            cached.setflags(write=False)
+            object.__setattr__(self, "_sorted_csr_topics", cached)
+        return cached
+
+    def rate_descending_pairs(self) -> Tuple[np.ndarray, np.ndarray, np.ndarray, np.ndarray]:
+        """Pairs sorted subscriber-major with rates descending (cached).
+
+        Returns ``(topics, subscribers, rates, cumsum)``: every pair,
+        ordered per subscriber by descending event rate with topic ids
+        ascending inside equal rates -- the exact scan order of the GSP
+        sweep -- plus the global running sum of the sorted rates
+        (strictly increasing, so per-segment run ends are a plain
+        ``np.searchsorted``).  tau-independent, hence cached on the
+        workload: the cost ladder re-selects for several taus and pays
+        the sort once.
+
+        Implemented as a single ``np.argsort`` over the packed key
+        ``v * l + rank(t)`` where ``rank`` orders topics by
+        ``(-ev_t, t)`` -- one int64 sort instead of a three-key
+        lexsort.
+        """
+        cached = self._rate_desc_pairs
+        if cached is None:
+            num_topics = self.num_topics
+            rates = self._event_rates
+            rank = np.empty(num_topics, dtype=np.int64)
+            rank[np.lexsort((np.arange(num_topics), -rates))] = np.arange(num_topics)
+            key = self.pair_subscribers() * np.int64(max(num_topics, 1))
+            key = key + rank[self._flat_topics]
+            order = np.argsort(key)  # keys are unique: stability not needed
+            s_topics = self._flat_topics[order]
+            s_subs = self.pair_subscribers()[order]
+            s_rates = rates[s_topics]
+            cums = np.cumsum(s_rates)
+            for arr in (s_topics, s_subs, s_rates, cums):
+                arr.setflags(write=False)
+            cached = (s_topics, s_subs, s_rates, cums)
+            object.__setattr__(self, "_rate_desc_pairs", cached)
+        return cached
+
+    def interest_sizes(self) -> np.ndarray:
+        """``|Tv|`` for every subscriber (one ``np.diff`` over indptr)."""
+        return np.diff(self._indptr)
 
     def topic_label(self, topic: int) -> str:
         """Human-readable name of a topic (falls back to ``t<idx>``)."""
@@ -211,30 +463,28 @@ class Workload:
         """Return ``Vt``: the subscribers of ``topic``.
 
         Built lazily for the whole workload on first use (a single
-        O(pairs) pass), then served from the cache.
+        O(pairs log pairs) vectorized pass), then served from the cache.
         """
         return self._audience_index()[topic]
 
     def _audience_index(self) -> Tuple[np.ndarray, ...]:
         cached = self._subscribers_of
         if cached is None:
-            buckets: List[List[int]] = [[] for _ in range(self.num_topics)]
-            for v, topics in enumerate(self._interests):
-                for t in topics.tolist():
-                    buckets[t].append(v)
-            arrays = []
-            for bucket in buckets:
-                arr = np.asarray(bucket, dtype=np.int64)
-                arr.setflags(write=False)
-                arrays.append(arr)
-            cached = tuple(arrays)
+            flat = self._flat_topics
+            # Stable sort by topic keeps subscribers ascending within
+            # each topic (the flat arrays are subscriber-major).
+            order = np.argsort(flat, kind="stable")
+            subs_sorted = self.pair_subscribers()[order]
+            subs_sorted.setflags(write=False)
+            counts = np.bincount(flat, minlength=self.num_topics)
+            bounds = np.cumsum(counts)[:-1].tolist()
+            cached = tuple(np.split(subs_sorted, bounds))
             object.__setattr__(self, "_subscribers_of", cached)
         return cached
 
     def audience_sizes(self) -> np.ndarray:
         """Number of subscribers per topic (``|Vt|`` for every topic)."""
-        index = self._audience_index()
-        return np.asarray([arr.size for arr in index], dtype=np.int64)
+        return np.bincount(self._flat_topics, minlength=self.num_topics)
 
     def interest_rate_sum(self, subscriber: int) -> float:
         """Return ``sum(ev_t for t in Tv)`` for a subscriber.
@@ -247,10 +497,10 @@ class Workload:
     def _rate_sums(self) -> np.ndarray:
         cached = self._interest_rate_sums
         if cached is None:
-            rates = self._event_rates
-            sums = np.asarray(
-                [rates[topics].sum() if topics.size else 0.0 for topics in self._interests],
-                dtype=np.float64,
+            sums = np.bincount(
+                self.pair_subscribers(),
+                weights=self._event_rates[self._flat_topics],
+                minlength=self.num_subscribers,
             )
             sums.setflags(write=False)
             cached = sums
@@ -264,23 +514,18 @@ class Workload:
     @property
     def num_pairs(self) -> int:
         """Total number of topic-subscriber pairs in the workload."""
-        cached = self._num_pairs
-        if cached is None:
-            cached = int(sum(topics.size for topics in self._interests))
-            object.__setattr__(self, "_num_pairs", cached)
-        return cached
+        return int(self._indptr[-1])
 
     def iter_pairs(self) -> Iterator[Pair]:
         """Iterate over every ``(t, v)`` pair of the workload."""
-        for v, topics in enumerate(self._interests):
-            for t in topics.tolist():
-                yield (t, v)
+        flat = self._flat_topics.tolist()
+        subs = self.pair_subscribers().tolist()
+        for t, v in zip(flat, subs):
+            yield (t, v)
 
     def stats(self) -> WorkloadStats:
         """Compute aggregate statistics for reporting."""
-        interest_sizes = np.asarray(
-            [topics.size for topics in self._interests], dtype=np.int64
-        )
+        interest_sizes = self.interest_sizes()
         audience = self.audience_sizes()
         return WorkloadStats(
             num_topics=self.num_topics,
@@ -303,29 +548,42 @@ class Workload:
         Topic ids are preserved; topics that lose their entire audience
         simply keep a zero audience.  Useful for sampling experiments.
         """
-        keep = sorted(set(int(v) for v in subscribers))
-        interests = [self._interests[v] for v in keep]
+        keep = np.asarray(sorted(set(int(v) for v in subscribers)), dtype=np.int64)
+        counts = np.diff(self._indptr)[keep] if keep.size else np.empty(0, np.int64)
+        indptr = np.zeros(keep.size + 1, dtype=np.int64)
+        np.cumsum(counts, out=indptr[1:])
+        if keep.size:
+            take = np.concatenate(
+                [np.arange(self._indptr[v], self._indptr[v + 1]) for v in keep.tolist()]
+            ) if int(counts.sum()) else np.empty(0, np.int64)
+            flat = self._flat_topics[take]
+        else:
+            flat = np.empty(0, dtype=np.int64)
         labels = (
-            [self._subscriber_labels[v] for v in keep]
+            [self._subscriber_labels[v] for v in keep.tolist()]
             if self._subscriber_labels is not None
             else None
         )
-        return Workload(
+        return Workload.from_csr(
             self._event_rates,
-            interests,
+            indptr,
+            flat,
             message_size_bytes=self._message_size_bytes,
             topic_labels=self._topic_labels,
             subscriber_labels=labels,
+            validate=False,
         )
 
     def with_message_size(self, message_size_bytes: float) -> "Workload":
         """Return a copy of the workload with a different message size."""
-        return Workload(
+        return Workload.from_csr(
             self._event_rates,
-            self._interests,
+            self._indptr,
+            self._flat_topics,
             message_size_bytes=message_size_bytes,
             topic_labels=self._topic_labels,
             subscriber_labels=self._subscriber_labels,
+            validate=False,
         )
 
     def __repr__(self) -> str:  # pragma: no cover - cosmetic

@@ -3,7 +3,9 @@
 Algorithms (Section III-A / Appendix A of the paper):
 
 * :class:`GreedySelectPairs` (``"gsp"``) -- the paper's benefit-cost
-  greedy, in an equivalent O(k log k) form;
+  greedy, fully vectorized over the workload's CSR interests;
+* :class:`LoopGreedySelectPairs` (``"gsp-loop"``) -- the equivalent
+  O(k log k)-per-subscriber loop form, kept as a referee;
 * :class:`ReferenceGreedySelectPairs` (``"gsp-reference"``) -- literal
   Algorithm 2, used as the executable specification in tests;
 * :class:`RandomSelectPairs` (``"rsp"``) -- the naive baseline;
@@ -17,7 +19,12 @@ from .base import (
     get_selector,
     register_selector,
 )
-from .greedy import GreedySelectPairs, ReferenceGreedySelectPairs, benefit_cost_ratio
+from .greedy import (
+    GreedySelectPairs,
+    LoopGreedySelectPairs,
+    ReferenceGreedySelectPairs,
+    benefit_cost_ratio,
+)
 from .knapsack import KnapsackSelectPairs, min_cover_subset
 from .random_ import RandomSelectPairs
 
@@ -27,6 +34,7 @@ __all__ = [
     "get_selector",
     "register_selector",
     "GreedySelectPairs",
+    "LoopGreedySelectPairs",
     "ReferenceGreedySelectPairs",
     "benefit_cost_ratio",
     "KnapsackSelectPairs",

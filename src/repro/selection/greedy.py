@@ -9,18 +9,22 @@ where ``rem_v`` is the event rate still missing towards ``tau_v``
 (Algorithm 1).  The ``2 * ev_t`` denominator is the bandwidth price of
 the pair: one incoming plus one outgoing copy per event.
 
-Two implementations are provided:
+Three implementations are provided:
 
-* :class:`GreedySelectPairs` -- an O(k log k)-per-subscriber rewrite
-  that exploits the structure of the ratio (see below).  This is the
-  default used by experiments.
-* :class:`ReferenceGreedySelectPairs` -- a literal transcription of
-  Algorithm 2 (recomputing the ratio array after every pick, O(k^2)).
-  It exists as an executable specification: the test suite asserts the
-  fast version selects exactly the same pairs.
+* :class:`GreedySelectPairs` (``"gsp"``) -- the default: a fully
+  vectorized whole-array rewrite over the workload's CSR interest
+  representation (see below).  No Python loop over subscribers.
+* :class:`LoopGreedySelectPairs` (``"gsp-loop"``) -- the
+  O(k log k)-per-subscriber loop rewrite (the previous default),
+  retained as an intermediate referee.
+* :class:`ReferenceGreedySelectPairs` (``"gsp-reference"``) -- a
+  literal transcription of Algorithm 2 (recomputing the ratio array
+  after every pick, O(k^2)).  It exists as an executable
+  specification: the test suite asserts both other versions select
+  exactly the same pairs.
 
-Why the rewrite is equivalent
------------------------------
+Why the loop rewrite is equivalent
+----------------------------------
 While ``rem_v > 0``, every candidate topic with ``ev_t <= rem_v`` has
 ratio ``(ev_t / rem_v) / (2 ev_t) = 1 / (2 rem_v)`` -- the *same* value
 -- and every topic with ``ev_t > rem_v`` has the strictly smaller ratio
@@ -30,6 +34,41 @@ topic.  Breaking ties in (a) towards the largest rate fills the
 threshold fastest and leaves the least overshoot, so both
 implementations use that tie-break; the whole schedule then collapses
 into one descending sweep over the subscriber's topics.
+
+How the vectorized version works
+--------------------------------
+One global ``np.lexsort`` orders all (subscriber, topic, rate) triples
+subscriber-major with rates descending (ids ascending inside equal
+rates) -- exactly the order the per-subscriber sweep scans.  The sweep
+itself is replaced by rounds of whole-array *run extraction* over the
+still-active subscribers:
+
+1. a vectorized segmented binary search finds, per subscriber, the
+   next scan position whose rate fits the remaining need (the items
+   jumped over are precisely the ones the loop would skip);
+2. because the global cumulative sum of sorted rates is strictly
+   increasing, one ``np.searchsorted`` then yields the *longest
+   chosen run* from that position -- the maximal stretch of
+   consecutive items the sweep would take back to back;
+3. subscribers whose remaining need drops to zero retire; the rest
+   re-enter the next round at the position after their run.
+
+The number of rounds equals the maximum number of chosen *runs* of any
+subscriber (not the number of chosen items), which is tiny in practice
+-- subscribers whose threshold is met by a prefix finish in round one.
+Subscribers that exhaust their scan still unsatisfied receive their
+smallest-rate skipped topic (smallest id on ties), recovered post-hoc
+from the chosen mask with two more searchsorted passes -- identical to
+the loop's running ``best_skip`` tracking.
+
+Equivalence contract: selections are identical to
+:class:`ReferenceGreedySelectPairs` -- pair for pair, including the
+grouped-by-topic insertion order -- whenever partial sums of event
+rates are exactly representable (e.g. integer-valued rates, which all
+bundled workload generators produce); otherwise float associativity
+may flip ``_EPS``-sized boundary cases, the same caveat the loop
+rewrite always had.  ``tests/test_vectorized_equivalence.py`` enforces
+this on randomized workloads.
 """
 
 from __future__ import annotations
@@ -39,9 +78,15 @@ from typing import Dict, List
 import numpy as np
 
 from ..core import MCSSProblem, PairSelection
+from ..core.segsearch import segmented_left_search
 from .base import SelectionAlgorithm, register_selector
 
-__all__ = ["GreedySelectPairs", "ReferenceGreedySelectPairs", "benefit_cost_ratio"]
+__all__ = [
+    "GreedySelectPairs",
+    "LoopGreedySelectPairs",
+    "ReferenceGreedySelectPairs",
+    "benefit_cost_ratio",
+]
 
 _EPS = 1e-12
 
@@ -68,9 +113,265 @@ def benefit_cost_ratio(event_rate: float, remaining: float) -> float:
     return 1.0 / (2.0 * event_rate)
 
 
+def _segmented_first_leq(
+    values: np.ndarray, lo: np.ndarray, hi: np.ndarray, target: np.ndarray
+) -> np.ndarray:
+    """Per-lane leftmost index ``i`` in ``[lo, hi)`` with ``values[i] <= target``.
+
+    ``values`` must be non-increasing inside every ``[lo, hi)`` window
+    (the per-subscriber descending rate order).  Returns ``hi`` for
+    lanes with no such index.
+    """
+    return segmented_left_search(values, lo, hi, target, np.less_equal)
+
+
+def _segmented_ascending_search(
+    values: np.ndarray,
+    lo: np.ndarray,
+    hi: np.ndarray,
+    target: np.ndarray,
+    *,
+    strict: bool,
+) -> np.ndarray:
+    """Leftmost index in ``[lo, hi)`` with ``values[i] > target`` (or ``>=``).
+
+    Same lane-parallel bisection as :func:`_segmented_first_leq`, but
+    over windows of *ascending* values (running sums, running counts).
+    """
+    return segmented_left_search(
+        values, lo, hi, target, np.greater if strict else np.greater_equal
+    )
+
+
+def _grouping_order(keys: np.ndarray) -> np.ndarray:
+    """Stable argsort of small non-negative int keys, radix when possible.
+
+    NumPy's stable sort is a radix sort for 1- and 2-byte integer
+    dtypes only, which is ~7x faster than the comparison sort used for
+    int64 -- worth the downcast whenever the key range allows it.
+    """
+    if keys.size and int(keys.max()) < (1 << 15):
+        return np.argsort(keys.astype(np.int16), kind="stable")
+    return np.argsort(keys, kind="stable")
+
+
 @register_selector("gsp")
 class GreedySelectPairs(SelectionAlgorithm):
-    """Fast GSP: one descending sweep per subscriber (see module doc)."""
+    """Vectorized GSP: whole-array passes over the CSR interests."""
+
+    def select(self, problem: MCSSProblem) -> PairSelection:
+        workload = problem.workload
+        rates = workload.event_rates
+        tau = float(problem.tau)
+
+        indptr, _ = workload.interest_csr()
+        num_pairs = workload.num_pairs
+        if num_pairs == 0 or tau <= 0:
+            return PairSelection({})
+
+        # Global scan order: subscriber-major, rates descending, topic
+        # ids ascending inside equal rates (the documented tie-break),
+        # with the strictly increasing global running sum -- all cached
+        # on the workload (tau-independent).
+        s_topics, s_subs, s_rates, cums = workload.rate_descending_pairs()
+
+        tau_v = np.minimum(tau, workload.interest_rate_sums())
+        active = np.flatnonzero(tau_v > 0)
+        pos = indptr[:-1][active].astype(np.int64)
+        lim = indptr[1:][active].astype(np.int64)
+        rem = tau_v[active]
+
+        # Round-1 fast path (most subscribers finish in one run): with
+        # rem == tau_v the first fitting index is known in closed form
+        # -- sum-capped subscribers (tau_v == interest sum) start at
+        # their segment head since no single rate exceeds the sum, and
+        # tau-capped ones skip exactly the rates above tau, counted by
+        # one bincount over all pairs.
+        over_mask = s_rates > tau + _EPS
+        if over_mask.any():
+            over_cnt = np.bincount(s_subs[over_mask], minlength=tau_v.size)
+            i_first = np.where(rem >= tau, pos + over_cnt[active], pos)
+        else:
+            i_first = pos
+
+        run_starts: List[np.ndarray] = []
+        run_ends: List[np.ndarray] = []
+        overshoot_lim: List[np.ndarray] = []
+
+        first_round = True
+        while pos.size:
+            # (1) Next chosen item: first scan position that fits the
+            # remaining need.  Everything jumped over is a loop "skip".
+            if first_round:
+                i = i_first
+                first_round = False
+            else:
+                i = _segmented_first_leq(s_rates, pos, lim, rem + _EPS)
+            exhausted = i >= lim
+            if exhausted.any():
+                # Scan ran dry while unsatisfied: overshoot needed.
+                overshoot_lim.append(lim[exhausted])
+                keep = ~exhausted
+                i, rem, lim = i[keep], rem[keep], lim[keep]
+            if i.size == 0:
+                break
+            # (2) Longest chosen run from i: consecutive items are taken
+            # while the running sum stays within the remaining need
+            # (item i itself fits, so the search starts at i + 1).
+            base = np.where(i > 0, cums[i - 1], 0.0)
+            end = _segmented_ascending_search(
+                cums, i + 1, lim, rem + base + _EPS, strict=True
+            )
+            run_starts.append(i)
+            run_ends.append(end)
+            # (3) Update lanes; those satisfied retire, the rest rescan.
+            rem = rem - (cums[end - 1] - base)
+            pos = end
+            unsat = rem > _EPS
+            dry = unsat & (pos >= lim)
+            if dry.any():
+                overshoot_lim.append(lim[dry])
+            cont = unsat & (pos < lim)
+            pos, lim, rem = pos[cont], lim[cont], rem[cont]
+
+        chosen = self._chosen_mask(num_pairs, run_starts, run_ends)
+        overshoot_idx = self._overshoot_indices(
+            chosen, s_rates, overshoot_lim, indptr, s_subs
+        )
+        if overshoot_idx.size:
+            chosen[overshoot_idx] = True
+
+        return self._build_selection(chosen, overshoot_idx, s_topics, s_subs, indptr)
+
+    @staticmethod
+    def _chosen_mask(
+        num_pairs: int, run_starts: List[np.ndarray], run_ends: List[np.ndarray]
+    ) -> np.ndarray:
+        """Materialize the disjoint chosen runs as a boolean pair mask."""
+        marks = np.zeros(num_pairs + 1, dtype=np.int8)
+        if run_starts:
+            starts = np.concatenate(run_starts)
+            ends = np.concatenate(run_ends)
+            # Runs are pairwise disjoint and non-empty, so all start
+            # indices are distinct and all end indices are distinct:
+            # plain fancy updates apply every increment (no need for
+            # the much slower np.add.at), and the running sum stays in
+            # {0, 1} so int8 cannot overflow.
+            marks[starts] += 1
+            marks[ends] -= 1
+        return np.cumsum(marks[:-1]) > 0
+
+    @staticmethod
+    def _overshoot_indices(
+        chosen: np.ndarray,
+        s_rates: np.ndarray,
+        overshoot_lim: List[np.ndarray],
+        indptr: np.ndarray,
+        s_subs: np.ndarray,
+    ) -> np.ndarray:
+        """Smallest-rate (then smallest-id) skipped topic per dry subscriber.
+
+        Replays the loop's ``best_skip`` tracking post hoc: with the
+        chosen mask in hand, the minimum skipped rate of a subscriber
+        is the rate at its last skipped position (rates descend), and
+        the id tie-break selects the first skipped position inside that
+        equal-rate range.  Both lookups are searchsorted over the
+        global running count of skipped items.
+        """
+        if not overshoot_lim:
+            return np.empty(0, dtype=np.int64)
+        lim = np.concatenate(overshoot_lim)
+        # Segment bounds of each dry subscriber.
+        sub_of = s_subs[lim - 1]
+        seg_lo = indptr[:-1][sub_of]
+        seg_hi = lim
+
+        # Global inclusive running count of skipped items.
+        count_t = np.int32 if chosen.size < (1 << 31) else np.int64
+        chosen_cum = np.cumsum(chosen, dtype=count_t)
+        skipped_cum = np.arange(1, chosen.size + 1, dtype=count_t) - chosen_cum
+
+        before_seg = np.where(seg_lo > 0, skipped_cum[seg_lo - 1], 0)
+        has_skip = skipped_cum[seg_hi - 1] > before_seg
+        if not has_skip.all():
+            # Degenerate float-noise case (everything chosen yet still
+            # nominally unsatisfied): nothing left to add.
+            seg_lo, seg_hi = seg_lo[has_skip], seg_hi[has_skip]
+        if seg_lo.size == 0:
+            return np.empty(0, dtype=np.int64)
+
+        # Last skipped position q -> minimal skipped rate rho.
+        q = _segmented_ascending_search(
+            skipped_cum, seg_lo, seg_hi, skipped_cum[seg_hi - 1], strict=False
+        )
+        rho = s_rates[q]
+        # First position of the equal-rate range containing q.
+        j0 = _segmented_first_leq(s_rates, seg_lo, seg_hi, rho)
+        # First *skipped* position at or after j0 (the smallest id among
+        # minimal-rate skips -- chosen items of the same rate precede
+        # skipped ones inside an equal-rate range).
+        before_j0 = np.where(j0 > 0, skipped_cum[j0 - 1], 0)
+        return _segmented_ascending_search(
+            skipped_cum, j0, seg_hi, before_j0, strict=True
+        )
+
+    @staticmethod
+    def _build_selection(
+        chosen: np.ndarray,
+        overshoot_idx: np.ndarray,
+        s_topics: np.ndarray,
+        s_subs: np.ndarray,
+        indptr: np.ndarray,
+    ) -> PairSelection:
+        """Group chosen pairs by topic, replicating the loop's ordering.
+
+        The loop appends each subscriber's picks in sweep order with
+        the overshoot pick last, keying the by-topic dict by first
+        appearance.  Reproducing that order keeps downstream packers
+        (whose iteration order follows the dict) bit-compatible.
+        """
+        chosen_idx = np.flatnonzero(chosen)
+        if chosen_idx.size == 0:
+            return PairSelection({})
+        t_sel = s_topics[chosen_idx]
+        v_sel = s_subs[chosen_idx]
+
+        # Pick-order rank: regular picks keep (twice) their scan
+        # position; an overshoot pick ranks after every regular pick of
+        # its subscriber but before the next subscriber's.
+        rank = chosen_idx * 2
+        if overshoot_idx.size:
+            is_over = np.zeros(chosen.size, dtype=bool)
+            is_over[overshoot_idx] = True
+            ov_sel = is_over[chosen_idx]
+            rank = rank.copy()
+            rank[ov_sel] = 2 * indptr[v_sel[ov_sel] + 1] - 1
+
+        # Group by topic: a stable argsort keeps ascending subscribers
+        # inside each group (chosen_idx is subscriber-major), and the
+        # per-group minimum rank is the topic's first appearance.
+        group_order = _grouping_order(t_sel)
+        t_grouped = t_sel[group_order]
+        starts = np.concatenate(
+            ([0], np.flatnonzero(t_grouped[1:] != t_grouped[:-1]) + 1)
+        )
+        group_topics = t_grouped[starts]
+        first_seen = np.minimum.reduceat(rank[group_order], starts)
+        groups = np.split(v_sel[group_order], starts[1:].tolist())
+        by_topic = {
+            int(group_topics[k]): groups[k]
+            for k in np.argsort(first_seen, kind="stable")
+        }
+        return PairSelection.from_trusted_arrays(by_topic)
+
+
+@register_selector("gsp-loop")
+class LoopGreedySelectPairs(SelectionAlgorithm):
+    """Loop GSP: one descending sweep per subscriber (see module doc).
+
+    The previous default implementation, kept as a referee between the
+    O(k^2) reference and the vectorized version.
+    """
 
     def select(self, problem: MCSSProblem) -> PairSelection:
         workload = problem.workload

@@ -136,7 +136,11 @@ class TestRuntime:
     def test_stage1_runtimes_positive(self, small_trace):
         plan = make_plan("c3.large", small_trace.workload, SMALL)
         result = run_stage1_runtime(small_trace.workload, plan, (10, 100))
-        assert set(result.seconds) == {"GreedySelectPairs", "RandomSelectPairs"}
+        assert set(result.seconds) == {
+            "GreedySelectPairs",
+            "LoopGreedySelectPairs",
+            "RandomSelectPairs",
+        }
         for per_tau in result.seconds.values():
             assert all(s >= 0 for s in per_tau.values())
         assert "Stage 1" in result.render()

@@ -28,7 +28,11 @@ class TestRunFigure:
     def test_stage1_figure(self):
         result = run_figure("fig4", TINY)
         assert isinstance(result, Stage1RuntimeResult)
-        assert set(result.seconds) == {"GreedySelectPairs", "RandomSelectPairs"}
+        assert set(result.seconds) == {
+            "GreedySelectPairs",
+            "LoopGreedySelectPairs",
+            "RandomSelectPairs",
+        }
 
     def test_stage2_figure(self):
         result = run_figure("fig6", TINY)

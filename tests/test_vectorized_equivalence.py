@@ -1,0 +1,247 @@
+"""Randomized equivalence: vectorized hot paths vs their loop referees.
+
+The PR that vectorized Stage-1 GSP, the satisfaction reductions, and
+``validate_placement`` is gated on *exact* equivalence with the
+original per-subscriber loop implementations, which remain in the tree
+as executable specifications:
+
+* ``GreedySelectPairs`` (vectorized)  ==  ``ReferenceGreedySelectPairs``
+  (literal Algorithm 2)  ==  ``LoopGreedySelectPairs`` -- pair for
+  pair, including the grouped-by-topic insertion order that downstream
+  packers iterate;
+* ``satisfied_mask`` / ``delivered_rates`` / ``satisfaction_slack``
+  (np.bincount reductions)  ==  the scalar ``delivered_rate`` referee;
+* ``validate_placement`` (vectorized)  ==  ``validate_placement_loop``
+  -- identical verdict fields on feasible *and* broken placements.
+
+All generated rates are integer-valued, so every partial sum is
+exactly representable and the equivalence is bit-exact (the documented
+contract; see the module docstrings).  Edge cases covered: empty
+interests, tau = 0, single-topic subscribers, equal-rate ties,
+tau above every interest sum, and all-rates-exceed-tau overshoot.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core import (
+    MCSSProblem,
+    PairSelection,
+    Workload,
+    delivered_rate,
+    delivered_rates,
+    satisfaction_slack,
+    satisfied_mask,
+    selection_satisfied_mask,
+    subscriber_thresholds,
+    validate_placement,
+    validate_placement_loop,
+)
+from repro.packing import FFBinPacking
+from repro.selection import (
+    GreedySelectPairs,
+    LoopGreedySelectPairs,
+    ReferenceGreedySelectPairs,
+)
+from tests.conftest import make_unit_plan
+
+NUM_RANDOM_WORKLOADS = 24
+
+
+def edgy_workload(rng: np.random.Generator) -> Workload:
+    """A small random workload deliberately rich in edge cases.
+
+    Mixes empty interests, single-topic subscribers, equal-rate runs
+    (small integer rates collide often), and the full interest range.
+    """
+    num_topics = int(rng.integers(1, 12))
+    num_subscribers = int(rng.integers(1, 14))
+    # Small integer rates make equal-rate ties common.
+    rates = rng.integers(1, 8, size=num_topics).astype(float)
+    interests = []
+    for _ in range(num_subscribers):
+        style = rng.random()
+        if style < 0.15:
+            interests.append([])  # empty: tau_v == 0
+        elif style < 0.35:
+            interests.append([int(rng.integers(num_topics))])  # single topic
+        else:
+            k = int(rng.integers(1, num_topics + 1))
+            interests.append(
+                sorted(rng.choice(num_topics, size=k, replace=False).tolist())
+            )
+    return Workload(rates, interests, message_size_bytes=1.0)
+
+
+def taus_for(workload: Workload, rng: np.random.Generator):
+    """Edge-case taus: zero, tiny, typical, just-below-max, above-max."""
+    total = float(workload.event_rates.sum())
+    return [0.0, 1.0, float(rng.integers(1, 10)), max(total - 1.0, 1.0), total + 10.0]
+
+
+class TestGSPEquivalence:
+    """Vectorized GSP == loop GSP == literal Algorithm 2."""
+
+    @pytest.mark.parametrize("seed", range(NUM_RANDOM_WORKLOADS))
+    def test_random_workloads(self, seed):
+        rng = np.random.default_rng(1000 + seed)
+        workload = edgy_workload(rng)
+        for tau in taus_for(workload, rng):
+            problem = MCSSProblem(workload, tau, make_unit_plan(1e12))
+            fast = GreedySelectPairs().select(problem)
+            loop = LoopGreedySelectPairs().select(problem)
+            reference = ReferenceGreedySelectPairs().select(problem)
+            assert fast == loop, f"tau={tau}"
+            assert fast == reference, f"tau={tau}"
+            # Stronger than set equality: the by-topic insertion order
+            # and per-topic subscriber order drive downstream packers,
+            # so they must match the loop exactly too.
+            assert list(fast.topics) == list(loop.topics), f"tau={tau}"
+            for t in fast.topics:
+                assert (
+                    fast.subscribers_of(t).tolist()
+                    == loop.subscribers_of(t).tolist()
+                ), f"tau={tau} topic={t}"
+
+    def test_all_rates_exceed_tau_overshoot(self):
+        # Every topic overshoots: each subscriber must get exactly its
+        # smallest-rate topic (smallest id on ties).
+        w = Workload([20.0, 7.0, 7.0, 12.0], [[0, 1, 2, 3], [0, 3], [1, 2]])
+        problem = MCSSProblem(w, 5.0, make_unit_plan(1e9))
+        fast = GreedySelectPairs().select(problem)
+        loop = LoopGreedySelectPairs().select(problem)
+        assert fast == loop
+        assert sorted(fast) == [(1, 0), (1, 2), (3, 1)]
+
+    def test_equal_rate_tie_chain(self):
+        # All equal rates: descending prefix is id-ascending.
+        w = Workload([4.0] * 5, [[0, 1, 2, 3, 4]])
+        problem = MCSSProblem(w, 10.0, make_unit_plan(1e9))
+        fast = GreedySelectPairs().select(problem)
+        assert fast == ReferenceGreedySelectPairs().select(problem)
+        # 4+4 = 8 < 10, next 4 overshoots but nothing fits: smallest
+        # skipped is topic 2.
+        assert sorted(t for t, _ in fast) == [0, 1, 2]
+
+    def test_empty_and_tau_zero(self):
+        w = Workload([5.0, 3.0], [[], [0, 1], []])
+        assert GreedySelectPairs().select(
+            MCSSProblem(w, 0.0, make_unit_plan(1e9))
+        ).num_pairs == 0
+        sel = GreedySelectPairs().select(MCSSProblem(w, 100.0, make_unit_plan(1e9)))
+        assert sel == LoopGreedySelectPairs().select(
+            MCSSProblem(w, 100.0, make_unit_plan(1e9))
+        )
+        assert sel.num_pairs == 2  # only subscriber 1, both topics
+
+
+class TestSatisfactionEquivalence:
+    """np.bincount reductions == the scalar delivered_rate referee."""
+
+    @pytest.mark.parametrize("seed", range(NUM_RANDOM_WORKLOADS))
+    def test_random_deliveries(self, seed):
+        rng = np.random.default_rng(2000 + seed)
+        workload = edgy_workload(rng)
+        num_topics = workload.num_topics
+        # Random delivery mapping: some subscribers missing, some
+        # receiving out-of-interest topics, some duplicates.
+        mapping = {}
+        for v in range(workload.num_subscribers):
+            if rng.random() < 0.2:
+                continue
+            k = int(rng.integers(0, num_topics + 2))
+            topics = rng.integers(0, num_topics, size=k).tolist()
+            mapping[v] = topics + topics[: int(rng.integers(0, 2))]  # dup tail
+
+        got = delivered_rates(workload, mapping)
+        expected = np.zeros(workload.num_subscribers)
+        for v, topics in mapping.items():
+            expected[v] = delivered_rate(workload, v, topics)
+        np.testing.assert_array_equal(got, expected)
+
+        for tau in taus_for(workload, rng):
+            mask = satisfied_mask(workload, mapping, tau)
+            thresholds = subscriber_thresholds(workload, tau)
+            loop_mask = expected >= thresholds * (1.0 - 1e-9)
+            np.testing.assert_array_equal(mask, loop_mask)
+            slack = satisfaction_slack(workload, mapping, tau)
+            np.testing.assert_allclose(slack, expected - thresholds)
+
+    @pytest.mark.parametrize("seed", range(8))
+    def test_selection_mask_matches_mapping_mask(self, seed):
+        rng = np.random.default_rng(3000 + seed)
+        workload = edgy_workload(rng)
+        problem = MCSSProblem(workload, 6.0, make_unit_plan(1e12))
+        selection = GreedySelectPairs().select(problem)
+        fast = selection_satisfied_mask(workload, selection, 6.0)
+        slow = satisfied_mask(workload, selection.topics_by_subscriber(), 6.0)
+        np.testing.assert_array_equal(fast, slow)
+        assert fast.all()  # GSP selections are sufficient by construction
+
+    def test_pair_arrays_roundtrip(self):
+        sel = PairSelection({3: [1, 2], 0: [2]})
+        topics, subs = sel.pair_arrays()
+        assert sorted(zip(topics.tolist(), subs.tolist())) == [(0, 2), (3, 1), (3, 2)]
+
+    def test_trusted_arrays_constructor(self):
+        by_topic = {2: np.asarray([0, 3], dtype=np.int64)}
+        sel = PairSelection.from_trusted_arrays(by_topic)
+        assert sel.num_pairs == 2
+        assert (2, 3) in sel
+        assert sel == PairSelection({2: [0, 3]})
+
+
+class TestValidatorEquivalence:
+    """Vectorized validate_placement == the loop referee, verdict for verdict."""
+
+    @staticmethod
+    def _assert_same_verdict(problem, placement):
+        fast = validate_placement(problem, placement)
+        slow = validate_placement_loop(problem, placement)
+        assert fast.ok == slow.ok
+        assert fast.capacity_ok == slow.capacity_ok
+        assert fast.satisfaction_ok == slow.satisfaction_ok
+        assert fast.accounting_ok == slow.accounting_ok
+        assert fast.overloaded_vms == slow.overloaded_vms
+        assert fast.unsatisfied_subscribers == slow.unsatisfied_subscribers
+        assert fast.messages == slow.messages
+
+    @pytest.mark.parametrize("seed", range(NUM_RANDOM_WORKLOADS))
+    def test_random_solved_placements(self, seed):
+        rng = np.random.default_rng(4000 + seed)
+        workload = edgy_workload(rng)
+        max_rate = float(workload.event_rates.max())
+        tau = float(rng.integers(1, 12))
+        # Capacity: tight enough to need several VMs, always feasible.
+        capacity = max(2.0 * max_rate, float(rng.integers(2, 40)))
+        problem = MCSSProblem(workload, tau, make_unit_plan(capacity))
+        selection = GreedySelectPairs().select(problem)
+        placement = FFBinPacking().pack(problem, selection)
+        self._assert_same_verdict(problem, placement)
+
+    @pytest.mark.parametrize("seed", range(8))
+    def test_broken_placements_same_verdict(self, seed):
+        rng = np.random.default_rng(5000 + seed)
+        workload = edgy_workload(rng)
+        max_rate = float(workload.event_rates.max())
+        big = MCSSProblem(workload, 8.0, make_unit_plan(1e9))
+        placement = FFBinPacking().pack(big, GreedySelectPairs().select(big))
+        # Validate against a much tighter problem: overloads and (with a
+        # higher tau) unsatisfied subscribers must be reported the same.
+        tight = MCSSProblem(workload, 50.0, make_unit_plan(2.0 * max_rate))
+        self._assert_same_verdict(tight, placement)
+
+    def test_empty_placement_and_tau_zero(self, tiny_workload):
+        problem = MCSSProblem(tiny_workload, 0, make_unit_plan(100.0))
+        self._assert_same_verdict(problem, problem.empty_placement())
+        problem30 = MCSSProblem(tiny_workload, 30, make_unit_plan(100.0))
+        self._assert_same_verdict(problem30, problem30.empty_placement())
+
+    def test_duplicate_assignment_same_verdict(self, tiny_problem):
+        p = tiny_problem.empty_placement()
+        b = p.new_vm()
+        p.assign(b, 0, [0])
+        p.assign(b, 0, [0])
+        self._assert_same_verdict(tiny_problem, p)
