@@ -5,22 +5,31 @@ pairs sufficient to satisfy every subscriber.  Stage 2 then packs ``S``
 onto VMs.  :class:`PairSelection` is the interchange format between the
 two stages.
 
-The representation is *grouped by topic* (``topic -> array of
-subscribers``) because Stage 2's main optimization -- "grouping of
-pairs by topics" (optimization (b) in Section IV-D) -- needs exactly
-this view, and because it is far more compact than materializing one
-tuple per pair for multi-million-pair workloads.
+The representation is natively **CSR, grouped by topic** (topic-major):
+a ``topics`` array listing the distinct selected topics in insertion
+order, an ``indptr`` offset array, and one flat ``subscribers`` array
+holding every group's subscribers back to back, so that topic
+``topics[i]``'s selected subscribers are
+``subscribers[indptr[i]:indptr[i+1]]``.  Stage 2's main optimization --
+"grouping of pairs by topics" (optimization (b) in Section IV-D) --
+consumes exactly these flat slices, and the vectorized packers in
+:mod:`repro.packing` never materialize a Python list per topic.
 
-Two fast paths support the vectorized Stage-1/validation code:
+The classic ``topic -> subscriber array`` mapping API
+(:meth:`subscribers_of`, :attr:`topics`, iteration) is served as lazy
+zero-copy views into the flat arrays.
 
-* :meth:`PairSelection.from_trusted_arrays` skips the per-topic
-  ``np.unique`` re-validation for callers (like the vectorized GSP)
-  that construct the groups by whole-array NumPy passes and can
-  guarantee uniqueness by construction;
+Fast paths supporting the vectorized Stage-1/Stage-2/validation code:
+
+* :meth:`PairSelection.from_csr` adopts pre-validated CSR arrays
+  without checks or copies (the vectorized GSP emits this directly);
+* :meth:`PairSelection.from_trusted_arrays` adopts pre-validated
+  per-topic subscriber arrays (one concatenate, no ``np.unique``);
+* :meth:`PairSelection.csr_arrays` exposes the native
+  ``(topics, indptr, subscribers)`` triple;
 * :meth:`PairSelection.pair_arrays` exposes the selection as two flat
   parallel arrays ``(topics, subscribers)``, the form the vectorized
-  satisfaction reductions consume without materializing per-subscriber
-  Python dictionaries.
+  satisfaction reductions consume.
 """
 
 from __future__ import annotations
@@ -33,31 +42,82 @@ from .workload import Pair, Workload
 
 __all__ = ["PairSelection"]
 
+_EMPTY = np.empty(0, dtype=np.int64)
+_EMPTY.setflags(write=False)
+
 
 class PairSelection:
     """An immutable set of selected ``(t, v)`` pairs, grouped by topic."""
 
-    __slots__ = ("_by_topic", "_num_pairs", "_pair_arrays")
+    __slots__ = ("_topics", "_indptr", "_subs", "_topic_pos", "_pair_arrays")
 
     def __init__(self, by_topic: Mapping[int, Sequence[int]]) -> None:
-        grouped: Dict[int, np.ndarray] = {}
-        total = 0
+        topics: List[int] = []
+        groups: List[np.ndarray] = []
         for t, subs in by_topic.items():
             arr = np.asarray(subs, dtype=np.int64)
             if arr.size == 0:
                 continue
             if np.unique(arr).size != arr.size:
                 raise ValueError(f"duplicate subscribers for topic {t}")
+            topics.append(int(t))
+            groups.append(arr)
+        self._adopt_groups(topics, groups)
+
+    def _adopt_groups(self, topics: List[int], groups: List[np.ndarray]) -> None:
+        """Concatenate validated per-topic groups into the CSR core."""
+        t_arr = np.asarray(topics, dtype=np.int64)
+        indptr = np.zeros(len(groups) + 1, dtype=np.int64)
+        if groups:
+            np.cumsum(
+                np.fromiter((g.size for g in groups), np.int64, count=len(groups)),
+                out=indptr[1:],
+            )
+            flat = np.concatenate(groups)
+        else:
+            flat = _EMPTY
+        self._adopt_csr(t_arr, indptr, flat)
+
+    def _adopt_csr(
+        self, topics: np.ndarray, indptr: np.ndarray, subscribers: np.ndarray
+    ) -> None:
+        for arr in (topics, indptr, subscribers):
             arr.setflags(write=False)
-            grouped[int(t)] = arr
-            total += int(arr.size)
-        self._by_topic = grouped
-        self._num_pairs = total
+        self._topics = topics
+        self._indptr = indptr
+        self._subs = subscribers
+        self._topic_pos = {int(t): i for i, t in enumerate(topics.tolist())}
         self._pair_arrays = None
 
     # ------------------------------------------------------------------
     # Construction helpers
     # ------------------------------------------------------------------
+    @classmethod
+    def from_csr(
+        cls, topics: np.ndarray, indptr: np.ndarray, subscribers: np.ndarray
+    ) -> "PairSelection":
+        """Adopt pre-validated CSR arrays without checks or copies.
+
+        Contract (the caller vouches for all of it): ``topics`` holds
+        distinct non-negative topic ids, ``indptr`` is a strictly
+        increasing int64 offset array of length ``len(topics) + 1``
+        starting at 0 (no empty groups), and
+        ``subscribers[indptr[i]:indptr[i+1]]`` holds topic ``i``'s
+        selected subscribers with **no duplicates**.  The arrays are
+        adopted as-is (marked read-only, not copied), so the caller
+        must not mutate them afterwards.  This is the fast path the
+        vectorized GSP selector emits: it derives the groups from a
+        global sort and knows they satisfy the contract by
+        construction.
+        """
+        self = cls.__new__(cls)
+        self._adopt_csr(
+            np.asarray(topics, dtype=np.int64),
+            np.asarray(indptr, dtype=np.int64),
+            np.asarray(subscribers, dtype=np.int64),
+        )
+        return self
+
     @classmethod
     def from_trusted_arrays(
         cls, by_topic: Mapping[int, np.ndarray]
@@ -66,25 +126,16 @@ class PairSelection:
 
         Contract (the caller vouches for all of it): every value is a
         non-empty ``int64`` array with **no duplicate subscribers**, and
-        every key is a non-negative topic id.  The arrays are adopted
-        as-is (marked read-only, not copied), so the caller must not
-        mutate them afterwards.  This is the fast path used by the
-        vectorized GSP selector, which derives the groups from a global
-        lexsort and therefore knows they are duplicate-free; going
-        through ``__init__`` would redundantly re-sort every group via
-        ``np.unique``.
+        every key is a non-negative topic id.  Skips the per-topic
+        ``np.unique`` re-validation of ``__init__``; one concatenate
+        builds the CSR core.
         """
         self = cls.__new__(cls)
-        grouped: Dict[int, np.ndarray] = {}
-        total = 0
-        for t, arr in by_topic.items():
-            arr.setflags(write=False)
-            grouped[int(t)] = arr
-            total += int(arr.size)
-        self._by_topic = grouped
-        self._num_pairs = total
-        self._pair_arrays = None
+        self._adopt_groups(
+            [int(t) for t in by_topic], list(by_topic.values())
+        )
         return self
+
     @classmethod
     def from_pairs(cls, pairs: Iterable[Pair]) -> "PairSelection":
         """Build from an iterable of ``(t, v)`` tuples."""
@@ -107,8 +158,12 @@ class PairSelection:
     @classmethod
     def full(cls, workload: Workload) -> "PairSelection":
         """The selection containing *every* pair of the workload."""
-        return cls(
-            {t: workload.subscribers_of(t) for t in range(workload.num_topics)}
+        topics = [
+            t for t in range(workload.num_topics)
+            if workload.subscribers_of(t).size
+        ]
+        return cls.from_trusted_arrays(
+            {t: workload.subscribers_of(t) for t in topics}
         )
 
     # ------------------------------------------------------------------
@@ -117,28 +172,48 @@ class PairSelection:
     @property
     def num_pairs(self) -> int:
         """Total number of selected pairs ``|S|``."""
-        return self._num_pairs
+        return int(self._indptr[-1])
 
     @property
     def num_topics(self) -> int:
         """Number of distinct topics that appear in the selection."""
-        return len(self._by_topic)
+        return int(self._topics.size)
 
     @property
     def topics(self) -> Tuple[int, ...]:
         """The distinct topics of the selection, in insertion order."""
-        return tuple(self._by_topic)
+        return tuple(self._topics.tolist())
+
+    def csr_arrays(self) -> Tuple[np.ndarray, np.ndarray, np.ndarray]:
+        """The native ``(topics, indptr, subscribers)`` CSR triple.
+
+        ``subscribers[indptr[i]:indptr[i+1]]`` are the selected
+        subscribers of ``topics[i]``; groups follow topic insertion
+        order.  All arrays are read-only; this is the zero-copy form
+        the vectorized Stage-2 packers consume.
+        """
+        return self._topics, self._indptr, self._subs
 
     def subscribers_of(self, topic: int) -> np.ndarray:
-        """Selected subscribers of a topic (empty array if none)."""
-        arr = self._by_topic.get(int(topic))
-        if arr is None:
-            return np.empty(0, dtype=np.int64)
-        return arr
+        """Selected subscribers of a topic (empty array if none).
+
+        A zero-copy read-only slice of the flat CSR subscriber array.
+        """
+        i = self._topic_pos.get(int(topic))
+        if i is None:
+            return _EMPTY
+        return self._subs[self._indptr[i]:self._indptr[i + 1]]
 
     def pair_count(self, topic: int) -> int:
         """Number of selected pairs for a topic."""
-        return int(self.subscribers_of(topic).size)
+        i = self._topic_pos.get(int(topic))
+        if i is None:
+            return 0
+        return int(self._indptr[i + 1] - self._indptr[i])
+
+    def group_sizes(self) -> np.ndarray:
+        """Pairs per topic group, aligned with :attr:`topics` order."""
+        return np.diff(self._indptr)
 
     def pair_arrays(self) -> Tuple[np.ndarray, np.ndarray]:
         """The selection as flat parallel ``(topics, subscribers)`` arrays.
@@ -149,22 +224,9 @@ class PairSelection:
         """
         cached = self._pair_arrays
         if cached is None:
-            if self._num_pairs:
-                topics = np.repeat(
-                    np.fromiter(self._by_topic, dtype=np.int64, count=len(self._by_topic)),
-                    np.fromiter(
-                        (a.size for a in self._by_topic.values()),
-                        dtype=np.int64,
-                        count=len(self._by_topic),
-                    ),
-                )
-                subs = np.concatenate(list(self._by_topic.values()))
-            else:
-                topics = np.empty(0, dtype=np.int64)
-                subs = np.empty(0, dtype=np.int64)
+            topics = np.repeat(self._topics, np.diff(self._indptr))
             topics.setflags(write=False)
-            subs.setflags(write=False)
-            cached = (topics, subs)
+            cached = (topics, self._subs)
             self._pair_arrays = cached
         return cached
 
@@ -173,33 +235,40 @@ class PairSelection:
         return bool(np.isin(v, self.subscribers_of(t)).item())
 
     def __iter__(self) -> Iterator[Pair]:
-        for t, subs in self._by_topic.items():
-            for v in subs.tolist():
+        for i, t in enumerate(self._topics.tolist()):
+            for v in self._subs[self._indptr[i]:self._indptr[i + 1]].tolist():
                 yield (t, v)
 
     def __len__(self) -> int:
-        return self._num_pairs
+        return self.num_pairs
 
     def __eq__(self, other: object) -> bool:
         if not isinstance(other, PairSelection):
             return NotImplemented
-        if set(self._by_topic) != set(other._by_topic):
+        if self._topic_pos.keys() != other._topic_pos.keys():
             return False
         return all(
-            np.array_equal(np.sort(self._by_topic[t]), np.sort(other._by_topic[t]))
-            for t in self._by_topic
+            np.array_equal(
+                np.sort(self.subscribers_of(t)), np.sort(other.subscribers_of(t))
+            )
+            for t in self._topic_pos
         )
 
     def __hash__(self) -> int:  # pragma: no cover - rarely used
         return hash(
-            tuple(sorted((t, tuple(sorted(s.tolist()))) for t, s in self._by_topic.items()))
+            tuple(
+                sorted(
+                    (t, tuple(sorted(self.subscribers_of(t).tolist())))
+                    for t in self._topic_pos
+                )
+            )
         )
 
     def topics_by_subscriber(self) -> Dict[int, List[int]]:
         """Invert the selection into ``subscriber -> topics``."""
         out: Dict[int, List[int]] = {}
-        for t, subs in self._by_topic.items():
-            for v in subs.tolist():
+        for i, t in enumerate(self._topics.tolist()):
+            for v in self._subs[self._indptr[i]:self._indptr[i + 1]].tolist():
                 out.setdefault(v, []).append(t)
         return out
 
@@ -208,15 +277,16 @@ class PairSelection:
     # ------------------------------------------------------------------
     def outgoing_rate(self, workload: Workload) -> float:
         """Sum of ``ev_t`` over all selected pairs (events per unit)."""
+        if self._topics.size == 0:
+            return 0.0
         rates = workload.event_rates
-        return float(
-            sum(rates[t] * subs.size for t, subs in self._by_topic.items())
-        )
+        return float((rates[self._topics] * np.diff(self._indptr)).sum())
 
     def incoming_rate(self, workload: Workload) -> float:
         """Sum of ``ev_t`` over the distinct selected topics."""
-        rates = workload.event_rates
-        return float(sum(rates[t] for t in self._by_topic))
+        if self._topics.size == 0:
+            return 0.0
+        return float(workload.event_rates[self._topics].sum())
 
     def single_vm_rate(self, workload: Workload) -> float:
         """Total event rate if the whole selection sat on one huge VM.
@@ -235,4 +305,4 @@ class PairSelection:
         return self.single_vm_rate(workload) * workload.message_size_bytes
 
     def __repr__(self) -> str:  # pragma: no cover - cosmetic
-        return f"PairSelection(pairs={self._num_pairs}, topics={self.num_topics})"
+        return f"PairSelection(pairs={self.num_pairs}, topics={self.num_topics})"

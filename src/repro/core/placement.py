@@ -16,6 +16,27 @@ All bandwidth quantities on this class are kept in **bytes per time
 unit** (event rate x message size) so the capacity constraint ``bw_b <=
 BC`` can be checked directly against the byte-denominated VM capacity
 of the pricing catalog.
+
+Array-backed core
+-----------------
+The hot-path state is held in NumPy arrays so the vectorized Stage-2
+packers never loop over VMs in Python:
+
+* :meth:`Placement.used_bytes_array` / :meth:`free_bytes_array` --
+  per-VM byte accounting as one float64 vector (geometrically grown);
+* :meth:`Placement.hosts_mask` -- the "which VMs ingest topic t"
+  bitset, served from a per-topic VM index kept incrementally;
+* :meth:`Placement.assign_range` -- batch assignment of a flat
+  subscriber array slice: O(1) accounting plus one adopted array
+  chunk, instead of per-subscriber list work;
+* :meth:`Placement.new_vms` -- deploy a batch of VMs at once.
+
+Per-(vm, topic) subscriber identities are retained as lists of array
+chunks (appended, never extended element-wise) so the placement can be
+audited (satisfaction, duplicate-assignment) and replayed by the
+deployment simulator.  The per-VM :class:`VirtualMachine` objects
+remain the scalar accounting/query API; each batch assignment updates
+exactly one of them in O(1).
 """
 
 from __future__ import annotations
@@ -153,10 +174,9 @@ class Placement:
     """A complete assignment of selected pairs to a VM fleet.
 
     Stage-2 algorithms build a placement incrementally through
-    :meth:`assign` / :meth:`new_vm`; analysis code reads the aggregate
-    properties.  Subscriber identities per (vm, topic) are retained so
-    the placement can be audited (satisfaction, duplicate-assignment)
-    and replayed by the deployment simulator.
+    :meth:`assign` / :meth:`assign_range` / :meth:`new_vm`; analysis
+    code reads the aggregate properties.  See the module docstring for
+    the array-backed core the vectorized packers consume.
     """
 
     def __init__(self, workload: Workload, capacity_bytes: float) -> None:
@@ -165,8 +185,13 @@ class Placement:
         self.workload = workload
         self.capacity_bytes = float(capacity_bytes)
         self._vms: List[VirtualMachine] = []
-        # (vm index, topic) -> list of subscriber ids
-        self._members: Dict[Tuple[int, int], List[int]] = {}
+        # Array core: per-VM used bytes (geometrically grown buffer).
+        self._used = np.zeros(8, dtype=np.float64)
+        # topic -> indices of the VMs hosting it (appended on first host).
+        self._topic_vms: Dict[int, List[int]] = {}
+        # (vm index, topic) -> adopted subscriber-array chunks.
+        self._members: Dict[Tuple[int, int], List[np.ndarray]] = {}
+        self._num_pairs = 0
         # Flat-array view cache (see assignment_arrays).
         self._mutations = 0
         self._flat_cache: Optional[Tuple[int, Tuple[np.ndarray, ...]]] = None
@@ -174,17 +199,56 @@ class Placement:
     # -- construction ----------------------------------------------------
     def new_vm(self) -> int:
         """Deploy a new empty VM; returns its index."""
-        self._vms.append(VirtualMachine(self.capacity_bytes))
-        return len(self._vms) - 1
+        return self.new_vms(1)
+
+    def new_vms(self, count: int) -> int:
+        """Deploy ``count`` new empty VMs; returns the first index."""
+        if count <= 0:
+            raise ValueError("count must be positive")
+        first = len(self._vms)
+        total = first + count
+        if total > self._used.size:
+            grown = np.zeros(max(2 * self._used.size, total), dtype=np.float64)
+            grown[:first] = self._used[:first]
+            self._used = grown
+        else:
+            self._used[first:total] = 0.0
+        for _ in range(count):
+            self._vms.append(VirtualMachine(self.capacity_bytes))
+        return first
 
     def assign(self, vm_index: int, topic: int, subscribers: Sequence[int]) -> None:
         """Assign pairs ``(topic, v) for v in subscribers`` to a VM."""
-        subs = [int(v) for v in subscribers]
-        if not subs:
+        self.assign_range(
+            vm_index, topic, np.asarray(list(subscribers), dtype=np.int64)
+        )
+
+    def assign_range(
+        self, vm_index: int, topic: int, subscribers: np.ndarray
+    ) -> None:
+        """Batch-assign a flat subscriber array to one VM.
+
+        The array is adopted (not copied) when it is already read-only
+        -- the contract of the CSR slices the vectorized packers pass
+        -- and defensively copied otherwise.  Accounting is O(1) in the
+        number of subscribers: one :meth:`VirtualMachine.add_pairs`
+        update plus one chunk append.
+        """
+        subs = np.asarray(subscribers, dtype=np.int64)
+        if subs.size == 0:
             return
-        topic_bytes = self.topic_bytes(topic)
-        self._vms[vm_index].add_pairs(topic, topic_bytes, len(subs))
-        self._members.setdefault((vm_index, topic), []).extend(subs)
+        if subs.flags.writeable:
+            subs = subs.copy()
+            subs.setflags(write=False)
+        topic = int(topic)
+        vm = self._vms[vm_index]
+        new_topic = not vm.hosts_topic(topic)
+        vm.add_pairs(topic, self.topic_bytes(topic), int(subs.size))
+        self._used[vm_index] = vm.used_bytes
+        if new_topic:
+            self._topic_vms.setdefault(topic, []).append(vm_index)
+        self._members.setdefault((vm_index, topic), []).append(subs)
+        self._num_pairs += int(subs.size)
         self._mutations += 1
 
     def topic_bytes(self, topic: int) -> float:
@@ -197,15 +261,41 @@ class Placement:
         """The VM fleet ``B`` (read-only view)."""
         return tuple(self._vms)
 
+    def vm(self, vm_index: int) -> VirtualMachine:
+        """O(1) access to one VM (no fleet tuple materialization)."""
+        return self._vms[vm_index]
+
     @property
     def num_vms(self) -> int:
         """``|B|``."""
         return len(self._vms)
 
+    def used_bytes_array(self) -> np.ndarray:
+        """Per-VM ``bw_b`` as one float64 vector (read-only view)."""
+        view = self._used[: len(self._vms)].view()
+        view.setflags(write=False)
+        return view
+
+    def free_bytes_array(self) -> np.ndarray:
+        """Per-VM ``BC - bw_b`` as a fresh float64 vector (a snapshot)."""
+        return self.capacity_bytes - self._used[: len(self._vms)]
+
+    def hosts_mask(self, topic: int) -> np.ndarray:
+        """Boolean vector over VMs: does VM ``b`` ingest ``topic``?"""
+        mask = np.zeros(len(self._vms), dtype=bool)
+        hosting = self._topic_vms.get(int(topic))
+        if hosting:
+            mask[hosting] = True
+        return mask
+
+    def hosting_vms(self, topic: int) -> List[int]:
+        """Indices of the VMs ingesting ``topic``, in first-host order."""
+        return list(self._topic_vms.get(int(topic), ()))
+
     @property
     def total_bytes(self) -> float:
         """``sum(bw_b)`` in bytes per time unit."""
-        return sum(vm.used_bytes for vm in self._vms)
+        return float(self._used[: len(self._vms)].sum())
 
     @property
     def total_outgoing_bytes(self) -> float:
@@ -220,11 +310,17 @@ class Placement:
     @property
     def num_pairs(self) -> int:
         """Total number of assigned pairs."""
-        return sum(vm.num_pairs for vm in self._vms)
+        return self._num_pairs
+
+    def _group_members(self, chunks: List[np.ndarray]) -> np.ndarray:
+        return chunks[0] if len(chunks) == 1 else np.concatenate(chunks)
 
     def members(self, vm_index: int, topic: int) -> List[int]:
         """Subscribers of ``topic`` served from VM ``vm_index``."""
-        return list(self._members.get((vm_index, topic), ()))
+        chunks = self._members.get((vm_index, topic))
+        if not chunks:
+            return []
+        return self._group_members(chunks).tolist()
 
     def vm_topics(self, vm_index: int) -> List[int]:
         """Distinct topics hosted on a VM."""
@@ -232,12 +328,12 @@ class Placement:
 
     def topic_replicas(self, topic: int) -> int:
         """Number of VMs ingesting ``topic`` (replication degree)."""
-        return sum(1 for vm in self._vms if vm.hosts_topic(topic))
+        return len(self._topic_vms.get(int(topic), ()))
 
     def iter_assignments(self) -> Iterator[Tuple[int, int, List[int]]]:
         """Yield ``(vm_index, topic, subscribers)`` triples."""
-        for (b, t), subs in self._members.items():
-            yield b, t, list(subs)
+        for (b, t), chunks in self._members.items():
+            yield b, t, self._group_members(chunks).tolist()
 
     def assignment_arrays(self) -> Tuple[np.ndarray, np.ndarray, np.ndarray, np.ndarray]:
         """The assignments as flat arrays (vectorized-validator view).
@@ -246,7 +342,7 @@ class Placement:
         (vm, topic) group in :meth:`iter_assignments` order, plus the
         concatenated subscriber ids (group-major).  Cached until the
         next :meth:`assign`, so repeated audits of a finished placement
-        flatten the Python-level member lists only once.
+        flatten the chunk lists only once.
         """
         cached = self._flat_cache
         if cached is not None and cached[0] == self._mutations:
@@ -256,11 +352,12 @@ class Placement:
         topics = np.empty(groups, dtype=np.int64)
         sizes = np.empty(groups, dtype=np.int64)
         chunks: List[np.ndarray] = []
-        for g, ((b, t), subs) in enumerate(self._members.items()):
+        for g, ((b, t), group) in enumerate(self._members.items()):
+            arr = self._group_members(group)
             vm_ids[g] = b
             topics[g] = t
-            sizes[g] = len(subs)
-            chunks.append(np.asarray(subs, dtype=np.int64))
+            sizes[g] = arr.size
+            chunks.append(arr)
         subscribers = (
             np.concatenate(chunks) if chunks else np.empty(0, dtype=np.int64)
         )
@@ -275,16 +372,18 @@ class Placement:
         ``max_b``) counts once.
         """
         seen: Dict[int, set] = {}
-        for (_, t), subs in self._members.items():
-            for v in subs:
+        for (_, t), chunks in self._members.items():
+            for v in self._group_members(chunks).tolist():
                 seen.setdefault(v, set()).add(t)
         return {v: sorted(topics) for v, topics in seen.items()}
 
     def to_selection(self) -> PairSelection:
         """Collapse the placement back into the distinct pair set."""
         by_topic: Dict[int, set] = {}
-        for (_, t), subs in self._members.items():
-            by_topic.setdefault(t, set()).update(subs)
+        for (_, t), chunks in self._members.items():
+            by_topic.setdefault(t, set()).update(
+                self._group_members(chunks).tolist()
+            )
         return PairSelection({t: sorted(s) for t, s in by_topic.items()})
 
     def __repr__(self) -> str:  # pragma: no cover - cosmetic

@@ -95,6 +95,14 @@ class MCSSProblem:
         """Vector of ``tau_v`` over all subscribers."""
         return subscriber_thresholds(self.workload, self.tau)
 
+    def topic_bytes_array(self) -> np.ndarray:
+        """Per-topic byte rate of one event-stream copy (``ev_t * msg``).
+
+        One whole-array multiply; the vectorized Stage-2 packers index
+        this instead of recomputing ``rate * message_size`` per topic.
+        """
+        return self.workload.event_rates * self.workload.message_size_bytes
+
     # ------------------------------------------------------------------
     def empty_placement(self) -> Placement:
         """A fresh placement bound to this problem's workload and BC."""

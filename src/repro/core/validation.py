@@ -118,7 +118,7 @@ def validate_placement(problem: MCSSProblem, placement: Placement) -> Validation
     out_bytes = np.bincount(vm_arr, weights=topic_bytes * size_arr, minlength=num_vms)
     in_bytes = np.bincount(vm_arr, weights=topic_bytes, minlength=num_vms)
     used = out_bytes + in_bytes
-    recorded = np.asarray([vm.used_bytes for vm in placement.vms], dtype=np.float64)
+    recorded = placement.used_bytes_array()
 
     over_mask = used > capacity * (1.0 + _REL_TOL) + _ABS_TOL
     overloaded = [int(b) for b in np.flatnonzero(over_mask)]

@@ -13,7 +13,19 @@ from typing import Callable, Dict, List, Type
 
 from ..core import MCSSProblem, PairSelection, Placement
 
-__all__ = ["PackingAlgorithm", "register_packer", "get_packer", "available_packers"]
+__all__ = [
+    "PackingAlgorithm",
+    "register_packer",
+    "get_packer",
+    "get_referee",
+    "available_packers",
+    "LOOP_REFEREES",
+]
+
+#: Vectorized packer name -> its retained loop-referee name.  The
+#: referees are executable specifications: the randomized equivalence
+#: suite pins each vectorized packer to identical placements.
+LOOP_REFEREES: Dict[str, str] = {"cbp": "cbp-loop", "ffbp": "ffbp-loop"}
 
 
 class PackingAlgorithm(ABC):
@@ -54,6 +66,41 @@ def get_packer(name: str, **kwargs) -> PackingAlgorithm:
         known = ", ".join(sorted(_REGISTRY))
         raise KeyError(f"unknown packer {name!r}; known: {known}") from None
     return factory(**kwargs)
+
+
+def diff_placements(fast, loop) -> "str | None":
+    """Explain how two placements differ, or ``None`` if identical.
+
+    Identity is the pinning contract between a vectorized packer and
+    its loop referee: same VM count, same assignment-group insertion
+    order, same per-(vm, topic) subscriber lists, same total byte
+    rate.  Shared by the equivalence test suite and the profiling
+    script so the two gates cannot drift apart.
+    """
+    if fast.num_vms != loop.num_vms:
+        return f"fleet sizes differ: {fast.num_vms} != {loop.num_vms}"
+    fast_groups = {(b, t): subs for b, t, subs in fast.iter_assignments()}
+    loop_groups = {(b, t): subs for b, t, subs in loop.iter_assignments()}
+    if list(fast_groups) != list(loop_groups):
+        return "assignment-group order differs"
+    if fast_groups != loop_groups:
+        return "per-VM subscriber assignments differ"
+    scale = max(1.0, abs(loop.total_bytes))
+    if abs(fast.total_bytes - loop.total_bytes) > 1e-9 * scale:
+        return (
+            f"total bytes differ: {fast.total_bytes!r} != {loop.total_bytes!r}"
+        )
+    return None
+
+
+def get_referee(name: str, **kwargs) -> PackingAlgorithm:
+    """Instantiate the loop referee of a vectorized packer."""
+    try:
+        referee = LOOP_REFEREES[name]
+    except KeyError:
+        known = ", ".join(sorted(LOOP_REFEREES))
+        raise KeyError(f"no loop referee for {name!r}; known: {known}") from None
+    return get_packer(referee, **kwargs)
 
 
 def available_packers() -> List[str]:

@@ -23,6 +23,26 @@ switches on :class:`CBPOptions`:
 The ladder presets used by Figures 2-3 are exposed as
 :meth:`CBPOptions.ladder`.
 
+Vectorized hot path
+-------------------
+This implementation is whole-array over the selection's CSR triple
+(:meth:`repro.core.pairs.PairSelection.csr_arrays`): the per-topic
+subscriber groups stay flat NumPy slices end to end, handed to
+:meth:`repro.core.placement.Placement.assign_range` without ever
+materializing a Python list.  Per spilled topic, the most-free-first
+scan is one stable ``argsort`` over the placement's free-bytes array
+plus a ``cumsum``/``searchsorted`` to find how many VMs the group
+needs; the cost-based decision (Algorithm 7) is the same sort +
+cumsum instead of a per-VM Python loop; and the fresh-VM tail deploys
+``ceil(count / per_fresh)`` VMs up front and assigns them as
+consecutive slices.  Fleets below :data:`_SMALL_FLEET` VMs use scalar
+kernels with identical semantics (NumPy's per-call overhead loses to
+a Python scan over a few dozen VMs).  The retained pre-vectorization
+implementation
+(:class:`repro.packing.custom_loop.LoopCustomBinPacking`,
+``"cbp-loop"``) is the executable referee: both produce bit-identical
+placements, pinned by ``tests/test_vectorized_equivalence.py``.
+
 Fidelity notes
 --------------
 Algorithm 4's pseudocode has two well-known transcription glitches: the
@@ -36,10 +56,10 @@ honest capacity accounting, so every produced placement passes
 
 from __future__ import annotations
 
-import heapq
 import math
 from dataclasses import dataclass
-from typing import List, Optional, Sequence, Tuple
+
+import numpy as np
 
 from ..core import MCSSProblem, PairSelection, Placement
 from ..pricing import PricingPlan
@@ -85,6 +105,35 @@ def _pairs_per_fresh_vm(capacity_bytes: float, topic_bytes: float) -> int:
     return max(fit, 0)
 
 
+#: Fleet size below which the per-VM scans run as scalar Python loops
+#: instead of whole-array passes.  NumPy's fixed per-call overhead
+#: (~2-3 us per kernel launch) dominates sorts/cumsums over a few
+#: dozen VMs, so tiny fleets -- the regime of the CI 2k-user smoke --
+#: are faster scalar; both branches implement identical semantics and
+#: the equivalence suite exercises each (see
+#: ``tests/test_vectorized_equivalence.py``).
+_SMALL_FLEET = 64
+
+
+def _fleet_fits(
+    placement: Placement, topic: int, topic_bytes: float
+) -> "tuple[np.ndarray, np.ndarray]":
+    """Per-VM pair budgets for one topic, as whole-array arithmetic.
+
+    Returns ``(fit, hosts)``: how many further pairs of ``topic`` each
+    deployed VM can accept (charging the one-off incoming copy to VMs
+    not yet hosting it), and the hosts-topic mask.  Mirrors
+    :meth:`VirtualMachine.max_new_pairs` element for element.
+    """
+    free = placement.free_bytes_array()
+    hosts = placement.hosts_mask(topic)
+    budget = free + 1e-9 - np.where(hosts, 0.0, topic_bytes)
+    with np.errstate(invalid="ignore"):
+        fit = np.floor_divide(budget, topic_bytes).astype(np.int64)
+    fit[budget < topic_bytes] = 0
+    return fit, hosts
+
+
 def cheaper_to_distribute(
     placement: Placement,
     plan: PricingPlan,
@@ -103,6 +152,12 @@ def cheaper_to_distribute(
     * **distribute**: greedily fill existing VMs most-free-first, then
       overflow to new VMs -- saves rent but pays one extra incoming
       copy per additional VM that starts hosting the topic.
+
+    The sorted free-capacity scan is vectorized: one stable descending
+    ``argsort`` over the free-bytes array, a ``cumsum`` of the per-VM
+    pair budgets, and one ``searchsorted`` to find how many VMs the
+    group consumes -- no per-VM Python loop.  The loop referee is
+    :func:`repro.packing.custom_loop.cheaper_to_distribute_loop`.
 
     Deviation: Algorithm 7 sizes fresh VMs as ``ceil(|P| ev_t / BC)``,
     ignoring that each fresh VM also ingests the topic; we use the
@@ -126,59 +181,53 @@ def cheaper_to_distribute(
     fresh_cost = plan.c1(cur_vms + fresh_vms) + plan.c2(fresh_bytes)
 
     # Option "distribute": existing fleet most-free-first, then new VMs.
-    room: List[Tuple[float, bool]] = []  # (free bytes, hosts topic)
-    for vm in placement.vms:
-        room.append((vm.free_bytes, vm.hosts_topic(topic)))
-    room.sort(key=lambda fh: fh[0], reverse=True)
-
     left = count
     dist_bytes = cur_bytes
-    for free, hosts in room:
-        if left == 0:
-            break
-        budget = free + 1e-9 - (0.0 if hosts else topic_bytes)
-        fit = int(budget // topic_bytes) if budget >= topic_bytes else 0
-        if fit <= 0:
-            continue
-        take = min(left, fit)
-        dist_bytes += (take + (0 if hosts else 1)) * topic_bytes
-        left -= take
+    if cur_vms <= _SMALL_FLEET:
+        # Scalar kernel: a handful of VMs is cheaper to scan in Python
+        # than to launch a half-dozen NumPy kernels over.
+        room = []
+        for i in range(cur_vms):
+            vm = placement.vm(i)
+            room.append((vm.free_bytes, vm.hosts_topic(topic)))
+        room.sort(key=lambda fh: fh[0], reverse=True)
+        for free, hosts in room:
+            if left == 0:
+                break
+            budget = free + 1e-9 - (0.0 if hosts else topic_bytes)
+            fit = int(budget // topic_bytes) if budget >= topic_bytes else 0
+            if fit <= 0:
+                continue
+            take = min(left, fit)
+            dist_bytes += (take + (0 if hosts else 1)) * topic_bytes
+            left -= take
+    else:
+        # Whole-array kernel: one stable descending argsort over the
+        # free-bytes array, a cumsum of per-VM budgets, and one
+        # searchsorted for the covering prefix.
+        fit, hosts = _fleet_fits(placement, topic, topic_bytes)
+        order = np.argsort(-placement.free_bytes_array(), kind="stable")
+        fit_sorted = fit[order]
+        takers = fit_sorted > 0
+        fits = fit_sorted[takers]
+        new_host = ~hosts[order][takers]
+        cum = np.cumsum(fits)
+        if cum.size and int(cum[-1]) >= count:
+            used = int(np.searchsorted(cum, count)) + 1
+            placed = count
+            new_ingests = int(np.count_nonzero(new_host[:used]))
+            left = 0
+        else:
+            placed = int(cum[-1]) if cum.size else 0
+            new_ingests = int(np.count_nonzero(new_host))
+            left = count - placed
+        dist_bytes += (placed + new_ingests) * topic_bytes
     extra_vms = math.ceil(left / per_fresh) if left else 0
     if left:
         dist_bytes += (left + extra_vms) * topic_bytes
     dist_cost = plan.c1(cur_vms + extra_vms) + plan.c2(dist_bytes)
 
     return dist_cost < fresh_cost
-
-
-class _FreeCapacityHeap:
-    """Max-heap over VM free capacity with lazy invalidation.
-
-    Entries carry the free capacity they were pushed with; a popped
-    entry whose capacity is stale (the VM received pairs since) is
-    refreshed and re-pushed.
-    """
-
-    def __init__(self, placement: Placement, skip: Optional[int] = None) -> None:
-        self._placement = placement
-        self._heap: List[Tuple[float, int]] = [
-            (-vm.free_bytes, idx)
-            for idx, vm in enumerate(placement.vms)
-            if idx != skip
-        ]
-        heapq.heapify(self._heap)
-
-    def pop_most_free(self) -> Optional[int]:
-        """Index of the VM with the most free capacity, or ``None``."""
-        heap = self._heap
-        while heap:
-            neg_free, idx = heapq.heappop(heap)
-            actual = self._placement.vms[idx].free_bytes
-            if actual < -neg_free - 1e-6:
-                heapq.heappush(heap, (-actual, idx))
-                continue
-            return idx
-        return None
 
 
 @register_packer("cbp")
@@ -190,32 +239,28 @@ class CustomBinPacking(PackingAlgorithm):
 
     def pack(self, problem: MCSSProblem, selection: PairSelection) -> Placement:
         placement = problem.empty_placement()
-        workload = problem.workload
-        msg_bytes = workload.message_size_bytes
-        rates = workload.event_rates
-        opts = self.options
+        rates = problem.workload.event_rates
+        topic_bytes_all = problem.topic_bytes_array()
 
-        topics = list(selection.topics)
-        if opts.expensive_topic_first:
-            # Line 3: non-increasing aggregate selected rate; break ties
-            # by per-event rate, then id, for determinism.
-            topics.sort(
-                key=lambda t: (
-                    -float(rates[t]) * selection.pair_count(t),
-                    -float(rates[t]),
-                    t,
-                )
-            )
-
-        if not topics:
+        topics, indptr, flat_subs = selection.csr_arrays()
+        if topics.size == 0:
             return placement
+        counts = np.diff(indptr)
+        if self.options.expensive_topic_first:
+            # Line 3: non-increasing aggregate selected rate; break ties
+            # by per-event rate, then id, for determinism.  lexsort keys
+            # are listed least-significant first.
+            sel_rates = rates[topics]
+            order = np.lexsort((topics, -sel_rates, -sel_rates * counts))
+        else:
+            order = np.arange(topics.size)
 
         current = placement.new_vm()
-        for t in topics:
-            subscribers = selection.subscribers_of(t).tolist()
-            topic_bytes = float(rates[t]) * msg_bytes
+        for g in order.tolist():
+            t = int(topics[g])
+            subs = flat_subs[indptr[g]:indptr[g + 1]]
             current = self._allocate_topic(
-                problem, placement, current, t, topic_bytes, subscribers
+                problem, placement, current, t, float(topic_bytes_all[t]), subs
             )
         return placement
 
@@ -227,23 +272,21 @@ class CustomBinPacking(PackingAlgorithm):
         current: int,
         topic: int,
         topic_bytes: float,
-        subscribers: List[int],
+        subscribers: np.ndarray,
     ) -> int:
         """Place all pairs of one topic; returns the new "current" VM."""
         opts = self.options
-        vms = placement.vms
-        count = len(subscribers)
 
         # Fast path: the whole group fits on the current VM.
-        cur_vm = vms[current]
-        if cur_vm.fits(topic_bytes, count, not cur_vm.hosts_topic(topic)):
-            placement.assign(current, topic, subscribers)
+        cur_vm = placement.vm(current)
+        if cur_vm.fits(topic_bytes, int(subscribers.size), not cur_vm.hosts_topic(topic)):
+            placement.assign_range(current, topic, subscribers)
             return current
 
         distribute = True
         if opts.cost_based_decision:
             distribute = cheaper_to_distribute(
-                placement, problem.plan, topic, topic_bytes, count
+                placement, problem.plan, topic, topic_bytes, int(subscribers.size)
             )
 
         remaining = subscribers
@@ -251,7 +294,7 @@ class CustomBinPacking(PackingAlgorithm):
             remaining = self._spill_to_existing(
                 placement, current, topic, topic_bytes, remaining
             )
-        if remaining:
+        if remaining.size:
             current = self._deploy_fresh(placement, topic, topic_bytes, remaining)
         return current
 
@@ -261,36 +304,84 @@ class CustomBinPacking(PackingAlgorithm):
         current: int,
         topic: int,
         topic_bytes: float,
-        subscribers: List[int],
-    ) -> List[int]:
-        """Fill existing VMs (current first); return unplaced subscribers."""
-        remaining = self._fill_vm(placement, current, topic, topic_bytes, subscribers)
-        if not remaining:
-            return []
+        subscribers: np.ndarray,
+    ) -> np.ndarray:
+        """Fill existing VMs (current first); return unplaced subscribers.
 
+        One whole-array pass: per-VM budgets from the free-bytes array,
+        visiting order by stable descending argsort (optimization (d))
+        or deployment order, then a ``cumsum``/``searchsorted`` to
+        find the covering prefix -- one ``assign_range`` slice per VM
+        actually used, zero per-subscriber work.
+        """
+        remaining = self._fill_vm(placement, current, topic, topic_bytes, subscribers)
+        num_vms = placement.num_vms
+        if remaining.size == 0 or num_vms <= 1:
+            return remaining
+
+        if num_vms <= _SMALL_FLEET:
+            # Scalar kernel for tiny fleets (see _SMALL_FLEET): same
+            # visiting order and stop conditions, per-VM Python scan.
+            if self.options.most_free_vm_first:
+                order_small = sorted(
+                    (i for i in range(num_vms) if i != current),
+                    key=lambda i: -placement.vm(i).free_bytes,
+                )
+                for vm_index in order_small:
+                    before = remaining.size
+                    remaining = self._fill_vm(
+                        placement, vm_index, topic, topic_bytes, remaining
+                    )
+                    if remaining.size in (0, before):
+                        # Done -- or the most-free VM cannot take even
+                        # one pair, in which case no VM can.
+                        break
+            else:
+                for vm_index in range(num_vms):
+                    if vm_index == current:
+                        continue
+                    remaining = self._fill_vm(
+                        placement, vm_index, topic, topic_bytes, remaining
+                    )
+                    if remaining.size == 0:
+                        break
+            return remaining
+
+        fit, _ = _fleet_fits(placement, topic, topic_bytes)
         if self.options.most_free_vm_first:
-            heap = _FreeCapacityHeap(placement, skip=current)
-            while remaining:
-                idx = heap.pop_most_free()
-                if idx is None:
-                    break
-                before = len(remaining)
-                remaining = self._fill_vm(
-                    placement, idx, topic, topic_bytes, remaining
-                )
-                if len(remaining) == before:
-                    # Most-free VM cannot take even one pair: no VM can.
-                    break
+            # Lines 9/14: most-free first, ties by VM index -- the exact
+            # pop order of the referee's lazy max-heap.  The scan stops
+            # at the first VM that cannot take a single pair: if the
+            # most-free VM is full for this topic, so is every one after.
+            order = np.argsort(-placement.free_bytes_array(), kind="stable")
+            order = order[order != current]
+            fit_sorted = fit[order]
+            blocked = np.flatnonzero(fit_sorted <= 0)
+            if blocked.size:
+                order = order[: blocked[0]]
+                fit_sorted = fit_sorted[: blocked[0]]
         else:
-            for idx in range(placement.num_vms):
-                if idx == current:
-                    continue
-                if not remaining:
-                    break
-                remaining = self._fill_vm(
-                    placement, idx, topic, topic_bytes, remaining
-                )
-        return remaining
+            # First-fit deployment order, skipping only non-takers.
+            order = np.arange(placement.num_vms, dtype=np.int64)
+            order = order[(order != current) & (fit > 0)]
+            fit_sorted = fit[order]
+
+        if order.size == 0:
+            return remaining
+        cum = np.cumsum(fit_sorted)
+        cover = int(np.searchsorted(cum, remaining.size))
+        used = min(cover + 1, int(order.size))
+        takes = fit_sorted[:used].copy()
+        if cover < order.size:
+            takes[cover] = remaining.size - (int(cum[cover - 1]) if cover else 0)
+            placed = int(remaining.size)
+        else:
+            placed = int(cum[-1])
+        start = 0
+        for vm_index, take in zip(order[:used].tolist(), takes.tolist()):
+            placement.assign_range(vm_index, topic, remaining[start:start + take])
+            start += take
+        return remaining[placed:]
 
     @staticmethod
     def _fill_vm(
@@ -298,15 +389,15 @@ class CustomBinPacking(PackingAlgorithm):
         vm_index: int,
         topic: int,
         topic_bytes: float,
-        subscribers: List[int],
-    ) -> List[int]:
+        subscribers: np.ndarray,
+    ) -> np.ndarray:
         """Assign as many pairs as fit on one VM; return the leftovers."""
-        vm = placement.vms[vm_index]
+        vm = placement.vm(vm_index)
         fit = vm.max_new_pairs(topic_bytes, vm.hosts_topic(topic))
         if fit <= 0:
             return subscribers
-        take = min(fit, len(subscribers))
-        placement.assign(vm_index, topic, subscribers[:take])
+        take = min(fit, int(subscribers.size))
+        placement.assign_range(vm_index, topic, subscribers[:take])
         return subscribers[take:]
 
     @staticmethod
@@ -314,18 +405,23 @@ class CustomBinPacking(PackingAlgorithm):
         placement: Placement,
         topic: int,
         topic_bytes: float,
-        subscribers: List[int],
+        subscribers: np.ndarray,
     ) -> int:
-        """Lines 15-20: deploy new VMs until every pair is placed."""
-        remaining = subscribers
-        last = -1
-        while remaining:
-            last = placement.new_vm()
-            vm = placement.vms[last]
-            fit = vm.max_new_pairs(topic_bytes, already_hosted=False)
-            if fit <= 0:  # pragma: no cover - excluded by problem checks
-                raise ValueError("topic does not fit in an empty VM")
-            take = min(fit, len(remaining))
-            placement.assign(last, topic, remaining[:take])
-            remaining = remaining[take:]
-        return last
+        """Lines 15-20: deploy all needed fresh VMs in one batch.
+
+        Every fresh VM takes the same ``per_fresh`` pairs (honest
+        capacity, including its own ingest copy), so the VM count is
+        ``ceil(count / per_fresh)`` up front and the group is assigned
+        as consecutive slices -- no while-loop over leftovers.
+        """
+        per_fresh = _pairs_per_fresh_vm(placement.capacity_bytes, topic_bytes)
+        if per_fresh <= 0:  # pragma: no cover - excluded by problem checks
+            raise ValueError("topic does not fit in an empty VM")
+        count = int(subscribers.size)
+        num_new = -(-count // per_fresh)
+        first = placement.new_vms(num_new)
+        for i in range(num_new):
+            placement.assign_range(
+                first + i, topic, subscribers[i * per_fresh:(i + 1) * per_fresh]
+            )
+        return first + num_new - 1

@@ -1,0 +1,263 @@
+"""LoopCustomBinPacking (``"cbp-loop"``) -- the retained CBP referee.
+
+This is the pre-vectorization :class:`CustomBinPacking` implementation,
+retained **verbatim** as an executable specification: one Python-level
+allocation pass per topic, list slicing per VM, a lazy max-heap over VM
+free capacity, and a per-VM loop inside the cost-based decision
+(Algorithm 7).  The vectorized packer in :mod:`repro.packing.custom`
+must produce *identical* placements -- per-VM topic-to-subscriber
+assignments, VM order, and total cost -- and
+``tests/test_vectorized_equivalence.py`` pins that on randomized
+workloads across every ladder rung.
+
+Do not optimize this module; its slowness is its job.
+"""
+
+from __future__ import annotations
+
+import heapq
+import math
+from typing import List, Optional, Tuple
+
+from ..core import MCSSProblem, PairSelection, Placement
+from ..pricing import PricingPlan
+from .base import PackingAlgorithm, register_packer
+from .custom import CBPOptions, _pairs_per_fresh_vm
+
+__all__ = ["LoopCustomBinPacking", "cheaper_to_distribute_loop"]
+
+
+def cheaper_to_distribute_loop(
+    placement: Placement,
+    plan: PricingPlan,
+    topic: int,
+    topic_bytes: float,
+    count: int,
+) -> bool:
+    """Algorithm 7 with the original per-VM Python loop (the referee).
+
+    Semantics are documented on the vectorized
+    :func:`repro.packing.custom.cheaper_to_distribute`; both must
+    return the same verdict on every input.
+    """
+    if count <= 0:
+        raise ValueError("count must be positive")
+    capacity = placement.capacity_bytes
+    per_fresh = _pairs_per_fresh_vm(capacity, topic_bytes)
+    if per_fresh == 0:
+        # A single pair does not fit even in an empty VM; the problem
+        # constructor rejects such instances, so this is defensive.
+        raise ValueError("topic does not fit in an empty VM")
+
+    cur_bytes = placement.total_bytes
+    cur_vms = placement.num_vms
+
+    # Option "fresh": new VMs only.
+    fresh_vms = math.ceil(count / per_fresh)
+    fresh_bytes = cur_bytes + (count + fresh_vms) * topic_bytes
+    fresh_cost = plan.c1(cur_vms + fresh_vms) + plan.c2(fresh_bytes)
+
+    # Option "distribute": existing fleet most-free-first, then new VMs.
+    room: List[Tuple[float, bool]] = []  # (free bytes, hosts topic)
+    for vm in placement.vms:
+        room.append((vm.free_bytes, vm.hosts_topic(topic)))
+    room.sort(key=lambda fh: fh[0], reverse=True)
+
+    left = count
+    dist_bytes = cur_bytes
+    for free, hosts in room:
+        if left == 0:
+            break
+        budget = free + 1e-9 - (0.0 if hosts else topic_bytes)
+        fit = int(budget // topic_bytes) if budget >= topic_bytes else 0
+        if fit <= 0:
+            continue
+        take = min(left, fit)
+        dist_bytes += (take + (0 if hosts else 1)) * topic_bytes
+        left -= take
+    extra_vms = math.ceil(left / per_fresh) if left else 0
+    if left:
+        dist_bytes += (left + extra_vms) * topic_bytes
+    dist_cost = plan.c1(cur_vms + extra_vms) + plan.c2(dist_bytes)
+
+    return dist_cost < fresh_cost
+
+
+class _FreeCapacityHeap:
+    """Max-heap over VM free capacity with lazy invalidation.
+
+    Entries carry the free capacity they were pushed with; a popped
+    entry whose capacity is stale (the VM received pairs since) is
+    refreshed and re-pushed.
+    """
+
+    def __init__(self, placement: Placement, skip: Optional[int] = None) -> None:
+        self._placement = placement
+        self._heap: List[Tuple[float, int]] = [
+            (-vm.free_bytes, idx)
+            for idx, vm in enumerate(placement.vms)
+            if idx != skip
+        ]
+        heapq.heapify(self._heap)
+
+    def pop_most_free(self) -> Optional[int]:
+        """Index of the VM with the most free capacity, or ``None``."""
+        heap = self._heap
+        while heap:
+            neg_free, idx = heapq.heappop(heap)
+            actual = self._placement.vms[idx].free_bytes
+            if actual < -neg_free - 1e-6:
+                heapq.heappush(heap, (-actual, idx))
+                continue
+            return idx
+        return None
+
+
+@register_packer("cbp-loop")
+class LoopCustomBinPacking(PackingAlgorithm):
+    """Topic-grouped bin packing, per-subscriber-list loop edition."""
+
+    def __init__(self, options: CBPOptions = CBPOptions()) -> None:
+        self.options = options
+
+    def pack(self, problem: MCSSProblem, selection: PairSelection) -> Placement:
+        placement = problem.empty_placement()
+        workload = problem.workload
+        msg_bytes = workload.message_size_bytes
+        rates = workload.event_rates
+        opts = self.options
+
+        topics = list(selection.topics)
+        if opts.expensive_topic_first:
+            # Line 3: non-increasing aggregate selected rate; break ties
+            # by per-event rate, then id, for determinism.
+            topics.sort(
+                key=lambda t: (
+                    -float(rates[t]) * selection.pair_count(t),
+                    -float(rates[t]),
+                    t,
+                )
+            )
+
+        if not topics:
+            return placement
+
+        current = placement.new_vm()
+        for t in topics:
+            subscribers = selection.subscribers_of(t).tolist()
+            topic_bytes = float(rates[t]) * msg_bytes
+            current = self._allocate_topic(
+                problem, placement, current, t, topic_bytes, subscribers
+            )
+        return placement
+
+    # ------------------------------------------------------------------
+    def _allocate_topic(
+        self,
+        problem: MCSSProblem,
+        placement: Placement,
+        current: int,
+        topic: int,
+        topic_bytes: float,
+        subscribers: List[int],
+    ) -> int:
+        """Place all pairs of one topic; returns the new "current" VM."""
+        opts = self.options
+        vms = placement.vms
+        count = len(subscribers)
+
+        # Fast path: the whole group fits on the current VM.
+        cur_vm = vms[current]
+        if cur_vm.fits(topic_bytes, count, not cur_vm.hosts_topic(topic)):
+            placement.assign(current, topic, subscribers)
+            return current
+
+        distribute = True
+        if opts.cost_based_decision:
+            distribute = cheaper_to_distribute_loop(
+                placement, problem.plan, topic, topic_bytes, count
+            )
+
+        remaining = subscribers
+        if distribute:
+            remaining = self._spill_to_existing(
+                placement, current, topic, topic_bytes, remaining
+            )
+        if remaining:
+            current = self._deploy_fresh(placement, topic, topic_bytes, remaining)
+        return current
+
+    def _spill_to_existing(
+        self,
+        placement: Placement,
+        current: int,
+        topic: int,
+        topic_bytes: float,
+        subscribers: List[int],
+    ) -> List[int]:
+        """Fill existing VMs (current first); return unplaced subscribers."""
+        remaining = self._fill_vm(placement, current, topic, topic_bytes, subscribers)
+        if not remaining:
+            return []
+
+        if self.options.most_free_vm_first:
+            heap = _FreeCapacityHeap(placement, skip=current)
+            while remaining:
+                idx = heap.pop_most_free()
+                if idx is None:
+                    break
+                before = len(remaining)
+                remaining = self._fill_vm(
+                    placement, idx, topic, topic_bytes, remaining
+                )
+                if len(remaining) == before:
+                    # Most-free VM cannot take even one pair: no VM can.
+                    break
+        else:
+            for idx in range(placement.num_vms):
+                if idx == current:
+                    continue
+                if not remaining:
+                    break
+                remaining = self._fill_vm(
+                    placement, idx, topic, topic_bytes, remaining
+                )
+        return remaining
+
+    @staticmethod
+    def _fill_vm(
+        placement: Placement,
+        vm_index: int,
+        topic: int,
+        topic_bytes: float,
+        subscribers: List[int],
+    ) -> List[int]:
+        """Assign as many pairs as fit on one VM; return the leftovers."""
+        vm = placement.vms[vm_index]
+        fit = vm.max_new_pairs(topic_bytes, vm.hosts_topic(topic))
+        if fit <= 0:
+            return subscribers
+        take = min(fit, len(subscribers))
+        placement.assign(vm_index, topic, subscribers[:take])
+        return subscribers[take:]
+
+    @staticmethod
+    def _deploy_fresh(
+        placement: Placement,
+        topic: int,
+        topic_bytes: float,
+        subscribers: List[int],
+    ) -> int:
+        """Lines 15-20: deploy new VMs until every pair is placed."""
+        remaining = subscribers
+        last = -1
+        while remaining:
+            last = placement.new_vm()
+            vm = placement.vms[last]
+            fit = vm.max_new_pairs(topic_bytes, already_hosted=False)
+            if fit <= 0:  # pragma: no cover - excluded by problem checks
+                raise ValueError("topic does not fit in an empty VM")
+            take = min(fit, len(remaining))
+            placement.assign(last, topic, remaining[:take])
+            remaining = remaining[take:]
+        return last

@@ -18,30 +18,49 @@ b])`` so every placement this library produces is capacity-feasible.
 Complexity: O(|S| * |B|) -- each pair may scan the whole fleet.  This
 is the quadratic behaviour Figures 6-7 of the paper show; we keep it
 (only bounded by the honest capacity check) rather than index the
-fleet, because FFBP *is* the paper's slow baseline.
+fleet, because FFBP *is* the paper's slow baseline.  What *was*
+modernized is everything around the scan: pair arrival order is
+derived from the selection's flat CSR arrays with one ``np.lexsort``
+(no per-subscriber dict inversion), and each placed pair goes through
+the placement's batch assign path.  The pre-vectorization edition is
+retained verbatim as :class:`LoopFFBinPacking` (``"ffbp-loop"``), and
+the randomized equivalence suite pins both to identical placements.
 """
 
 from __future__ import annotations
 
-from typing import Iterator, List, Tuple
+from typing import Dict, Iterator, List, Tuple
+
+import numpy as np
 
 from ..core import MCSSProblem, PairSelection, Placement
 from .base import PackingAlgorithm, register_packer
 
-__all__ = ["FFBinPacking", "iter_pairs_subscriber_major"]
+__all__ = ["FFBinPacking", "LoopFFBinPacking", "iter_pairs_subscriber_major"]
+
+
+def pairs_subscriber_major(selection: PairSelection) -> Tuple[np.ndarray, np.ndarray]:
+    """The selection's pairs as flat arrays in "arrival" order.
+
+    Subscriber-major, with each subscriber's topics ordered by the
+    topic's first appearance in the selection (the insertion order a
+    pub/sub front-end registering the grouped selection would see);
+    this deliberately interleaves topics -- the adversarial case for
+    first-fit.  One ``np.lexsort`` over the CSR pair arrays.
+    """
+    topics, indptr, subs = selection.csr_arrays()
+    flat_topics, flat_subs = selection.pair_arrays()
+    if flat_topics.size == 0:
+        return flat_topics, flat_subs
+    group_rank = np.repeat(np.arange(topics.size, dtype=np.int64), np.diff(indptr))
+    order = np.lexsort((group_rank, flat_subs))
+    return flat_topics[order], flat_subs[order]
 
 
 def iter_pairs_subscriber_major(selection: PairSelection) -> Iterator[Tuple[int, int]]:
-    """Yield pairs in subscriber-major order (the "arrival" order).
-
-    This is the order a pub/sub front-end would see subscriptions in,
-    and deliberately interleaves topics -- the adversarial case for
-    first-fit.
-    """
-    by_subscriber = selection.topics_by_subscriber()
-    for v in sorted(by_subscriber):
-        for t in by_subscriber[v]:
-            yield t, v
+    """Yield pairs in subscriber-major order (the "arrival" order)."""
+    topics, subs = pairs_subscriber_major(selection)
+    yield from zip(topics.tolist(), subs.tolist())
 
 
 @register_packer("ffbp")
@@ -50,15 +69,14 @@ class FFBinPacking(PackingAlgorithm):
 
     def pack(self, problem: MCSSProblem, selection: PairSelection) -> Placement:
         placement = problem.empty_placement()
-        workload = problem.workload
-        msg_bytes = workload.message_size_bytes
-        rates = workload.event_rates
+        topic_bytes_all = problem.topic_bytes_array()
 
         for t, v in iter_pairs_subscriber_major(selection):
-            topic_bytes = float(rates[t]) * msg_bytes
+            topic_bytes = float(topic_bytes_all[t])
             placed = False
             # Lines 3-6: first already-deployed VM with room.
-            for b, vm in enumerate(placement.vms):
+            for b in range(placement.num_vms):
+                vm = placement.vm(b)
                 if vm.fits(topic_bytes, 1, not vm.hosts_topic(t)):
                     placement.assign(b, t, [v])
                     placed = True
@@ -68,5 +86,39 @@ class FFBinPacking(PackingAlgorithm):
                 # guarantees a single pair always fits in an empty VM.
                 b = placement.new_vm()
                 placement.assign(b, t, [v])
+
+        return placement
+
+
+@register_packer("ffbp-loop")
+class LoopFFBinPacking(PackingAlgorithm):
+    """The retained pre-vectorization FFBP (the ``"ffbp-loop"`` referee).
+
+    Identical algorithm, but pair arrival order is rebuilt through the
+    original per-subscriber dict inversion and the fleet is scanned
+    through the tuple-materializing ``placement.vms`` view -- kept
+    verbatim as the executable specification the equivalence suite
+    compares :class:`FFBinPacking` against.
+    """
+
+    def pack(self, problem: MCSSProblem, selection: PairSelection) -> Placement:
+        placement = problem.empty_placement()
+        workload = problem.workload
+        msg_bytes = workload.message_size_bytes
+        rates = workload.event_rates
+
+        by_subscriber: Dict[int, List[int]] = selection.topics_by_subscriber()
+        for v in sorted(by_subscriber):
+            for t in by_subscriber[v]:
+                topic_bytes = float(rates[t]) * msg_bytes
+                placed = False
+                for b, vm in enumerate(placement.vms):
+                    if vm.fits(topic_bytes, 1, not vm.hosts_topic(t)):
+                        placement.assign(b, t, [v])
+                        placed = True
+                        break
+                if not placed:
+                    b = placement.new_vm()
+                    placement.assign(b, t, [v])
 
         return placement

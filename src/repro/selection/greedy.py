@@ -328,7 +328,9 @@ class GreedySelectPairs(SelectionAlgorithm):
         The loop appends each subscriber's picks in sweep order with
         the overshoot pick last, keying the by-topic dict by first
         appearance.  Reproducing that order keeps downstream packers
-        (whose iteration order follows the dict) bit-compatible.
+        (whose iteration order follows the group order) bit-compatible.
+        Emits the selection's native CSR triple directly -- two stable
+        small-key argsorts, no per-topic dictionary of arrays.
         """
         chosen_idx = np.flatnonzero(chosen)
         if chosen_idx.size == 0:
@@ -357,12 +359,20 @@ class GreedySelectPairs(SelectionAlgorithm):
         )
         group_topics = t_grouped[starts]
         first_seen = np.minimum.reduceat(rank[group_order], starts)
-        groups = np.split(v_sel[group_order], starts[1:].tolist())
-        by_topic = {
-            int(group_topics[k]): groups[k]
-            for k in np.argsort(first_seen, kind="stable")
-        }
-        return PairSelection.from_trusted_arrays(by_topic)
+        sizes = np.diff(np.append(starts, t_grouped.size))
+
+        # Reorder whole groups by first appearance: give every pair its
+        # group's destination rank and stable-sort on that small key
+        # (order inside each group is preserved).
+        perm = np.argsort(first_seen, kind="stable")
+        dest_rank = np.empty(perm.size, dtype=np.int64)
+        dest_rank[perm] = np.arange(perm.size)
+        final = _grouping_order(np.repeat(dest_rank, sizes))
+        csr_indptr = np.zeros(perm.size + 1, dtype=np.int64)
+        np.cumsum(sizes[perm], out=csr_indptr[1:])
+        return PairSelection.from_csr(
+            group_topics[perm], csr_indptr, v_sel[group_order][final]
+        )
 
 
 @register_selector("gsp-loop")

@@ -26,7 +26,14 @@ from ..core import (
     ValidationReport,
     validate_placement,
 )
-from ..packing import CBPOptions, CustomBinPacking, FFBinPacking, PackingAlgorithm, get_packer
+from ..packing import (
+    CBPOptions,
+    CustomBinPacking,
+    FFBinPacking,
+    LoopCustomBinPacking,
+    PackingAlgorithm,
+    get_packer,
+)
 from ..selection import GreedySelectPairs, RandomSelectPairs, SelectionAlgorithm, get_selector
 
 __all__ = ["MCSSSolution", "MCSSSolver"]
@@ -96,6 +103,16 @@ class MCSSSolver:
         if rung == "a":
             return cls(GreedySelectPairs(), FFBinPacking())
         return cls(GreedySelectPairs(), CustomBinPacking(CBPOptions.ladder(rung)))
+
+    @classmethod
+    def loop_referee(cls) -> "MCSSSolver":
+        """GSP + the retained ``cbp-loop`` packing referee.
+
+        Same selection as :meth:`paper`, but Stage 2 runs the verbatim
+        pre-vectorization CBP -- the configuration the equivalence
+        suite and ``scripts/profile_solver.py`` compare against.
+        """
+        return cls(GreedySelectPairs(), LoopCustomBinPacking(CBPOptions.ladder("e")))
 
     @classmethod
     def from_names(cls, selector: str, packer: str, **kwargs) -> "MCSSSolver":

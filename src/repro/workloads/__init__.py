@@ -22,7 +22,7 @@ from .io import (
 from .sampling import sample_subscribers
 from .social import SocialGraph, build_social_graph, generate_social_workload
 from .spotify import SpotifyConfig, SpotifyWorkloadGenerator
-from .synthetic import uniform_workload, zipf_workload
+from .synthetic import GENERATOR_VERSION, uniform_workload, zipf_workload
 from .trace import GeneratedTrace
 from .transforms import (
     filter_topics_by_rate,
@@ -46,6 +46,7 @@ __all__ = [
     "generate_social_workload",
     "SpotifyConfig",
     "SpotifyWorkloadGenerator",
+    "GENERATOR_VERSION",
     "uniform_workload",
     "zipf_workload",
     "GeneratedTrace",

@@ -1,0 +1,82 @@
+"""Slow large-scale smoke: the vectorized paths at one million subscribers.
+
+Deselected by default (``-m "not slow"`` is in ``addopts``); run with::
+
+    PYTHONPATH=src python -m pytest -m slow -q tests/test_scale_smoke.py
+
+Guards the two regressions the small randomized suites cannot see:
+
+* silent int32 truncation in the whole-array select/pack/validate
+  paths (index arithmetic over multi-million-pair arrays);
+* memory blow-ups from accidentally materializing per-subscriber or
+  per-pair Python objects (the peak-RSS bound fails fast if any hot
+  path falls back to lists).
+"""
+
+from __future__ import annotations
+
+import tracemalloc
+
+import numpy as np
+import pytest
+
+from repro.core import MCSSProblem, validate_placement
+from repro.packing import CBPOptions, CustomBinPacking
+from repro.selection import GreedySelectPairs
+from repro.workloads import zipf_workload
+from tests.conftest import make_unit_plan
+
+NUM_SUBSCRIBERS = 1_000_000
+NUM_TOPICS = 20_000
+
+# The flat pair arrays are ~5M int64 entries (~40 MB each); a few
+# dozen whole-array temporaries fit comfortably below this bound,
+# while a per-subscriber fallback (Python ints/lists: >= 28 B per
+# element times several structures) blows straight through it.
+PEAK_BYTES_BOUND = 3 * 1024**3
+
+
+@pytest.mark.slow
+def test_million_subscriber_select_pack_validate():
+    workload = zipf_workload(NUM_TOPICS, NUM_SUBSCRIBERS, mean_interest=5.0, seed=11)
+    assert workload.num_subscribers == NUM_SUBSCRIBERS
+    assert workload.num_pairs > NUM_SUBSCRIBERS  # multi-million pairs
+
+    capacity = (
+        max(
+            2.5 * float(workload.event_rates.max()),
+            float(workload.event_rates.sum()) / 16.0,
+        )
+        * workload.message_size_bytes
+    )
+    problem = MCSSProblem(workload, 100.0, make_unit_plan(float(capacity)))
+
+    tracemalloc.start()
+    try:
+        selection = GreedySelectPairs().select(problem)
+        placement = CustomBinPacking(CBPOptions.ladder("e")).pack(problem, selection)
+        report = validate_placement(problem, placement)
+        _, peak = tracemalloc.get_traced_memory()
+    finally:
+        tracemalloc.stop()
+
+    assert report.ok, f"invalid placement at scale: {report}"
+    assert peak < PEAK_BYTES_BOUND, f"peak traced memory {peak / 1e9:.2f} GB"
+
+    # No int32 truncation anywhere in the CSR plumbing: the flat arrays
+    # stay int64 end to end and the offsets actually cover every pair.
+    topics, indptr, subs = selection.csr_arrays()
+    assert topics.dtype == np.int64
+    assert indptr.dtype == np.int64
+    assert subs.dtype == np.int64
+    assert int(indptr[-1]) == selection.num_pairs == subs.size
+    assert int(subs.max()) < NUM_SUBSCRIBERS
+    assert int(topics.max()) < NUM_TOPICS
+
+    # Every selected pair is placed exactly once by CBP.
+    assert placement.num_pairs == selection.num_pairs
+    vm_ids, _, sizes, all_subs = placement.assignment_arrays()
+    assert all_subs.dtype == np.int64
+    assert int(sizes.sum()) == selection.num_pairs
+    assert placement.num_vms > 1
+    assert vm_ids.size and int(vm_ids.max()) == placement.num_vms - 1

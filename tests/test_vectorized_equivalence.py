@@ -12,7 +12,15 @@ as executable specifications:
 * ``satisfied_mask`` / ``delivered_rates`` / ``satisfaction_slack``
   (np.bincount reductions)  ==  the scalar ``delivered_rate`` referee;
 * ``validate_placement`` (vectorized)  ==  ``validate_placement_loop``
-  -- identical verdict fields on feasible *and* broken placements.
+  -- identical verdict fields on feasible *and* broken placements;
+* ``CustomBinPacking`` (CSR/whole-array Stage 2)  ==
+  ``LoopCustomBinPacking`` (the retained ``cbp-loop`` referee) --
+  *identical placements* (per-VM topic->subscriber assignment lists,
+  assignment-group order, VM count, bytes and cost) on every ladder
+  rung b/c/d/e, across randomized pricing plans so the cost-based
+  decision (Algorithm 7) exercises both verdicts;
+* ``FFBinPacking`` (CSR pair enumeration + batch assigns)  ==
+  ``LoopFFBinPacking`` (the ``ffbp-loop`` referee).
 
 All generated rates are integer-valued, so every partial sum is
 exactly representable and the equivalence is bit-exact (the documented
@@ -39,7 +47,16 @@ from repro.core import (
     validate_placement,
     validate_placement_loop,
 )
-from repro.packing import FFBinPacking
+from repro.packing import (
+    CBPOptions,
+    CustomBinPacking,
+    FFBinPacking,
+    LoopCustomBinPacking,
+    LoopFFBinPacking,
+    cheaper_to_distribute,
+    cheaper_to_distribute_loop,
+    diff_placements,
+)
 from repro.selection import (
     GreedySelectPairs,
     LoopGreedySelectPairs,
@@ -191,6 +208,134 @@ class TestSatisfactionEquivalence:
         assert sel.num_pairs == 2
         assert (2, 3) in sel
         assert sel == PairSelection({2: [0, 3]})
+
+
+def assert_identical_placements(fast, loop, problem):
+    """Placement identity: the pinning contract of the packing referees.
+
+    Stronger than equal cost: the per-(vm, topic) subscriber lists, the
+    assignment-group insertion order, the VM count and the byte/cost
+    totals must all match exactly.  The structural half is the shared
+    :func:`repro.packing.diff_placements` (also enforced by
+    ``scripts/profile_solver.py``).
+    """
+    assert diff_placements(fast, loop) is None, diff_placements(fast, loop)
+    fast_cost = problem.cost_of(fast)
+    loop_cost = problem.cost_of(loop)
+    assert fast_cost.num_vms == loop_cost.num_vms
+    assert fast_cost.total_usd == pytest.approx(loop_cost.total_usd, rel=1e-12)
+
+
+def packing_problem(workload, rng):
+    """A problem whose capacity forces spilling and whose randomized
+    pricing makes Algorithm 7 rule both ways across seeds."""
+    max_pair = 2.0 * float(workload.event_rates.max())
+    capacity = max(max_pair, float(rng.integers(2, 40)))
+    vm_price = float(rng.choice([0.0, 0.5, 10.0, 200.0]))
+    usd_per_gb = float(rng.choice([0.0, 0.12, 1e3, 1e9]))
+    tau = float(rng.integers(1, 14))
+    return MCSSProblem(
+        workload, tau, make_unit_plan(capacity, vm_price=vm_price, usd_per_gb=usd_per_gb)
+    )
+
+
+@pytest.fixture(params=["scalar-kernel", "array-kernel"])
+def fleet_kernel(request, monkeypatch):
+    """Run the packing equivalence both ways across the size crossover.
+
+    The vectorized CBP dispatches per-VM scans to a scalar kernel below
+    ``_SMALL_FLEET`` VMs and to whole-array passes above it; the edgy
+    workloads here build small fleets, so the threshold is forced to 0
+    to exercise the array kernels on the same instances.
+    """
+    from repro.packing import custom
+
+    if request.param == "array-kernel":
+        monkeypatch.setattr(custom, "_SMALL_FLEET", 0)
+    return request.param
+
+
+class TestCBPEquivalence:
+    """Vectorized CBP == the retained cbp-loop referee, placement for
+    placement, on every rung of the optimization ladder."""
+
+    @pytest.mark.parametrize("seed", range(NUM_RANDOM_WORKLOADS))
+    def test_random_workloads_all_rungs(self, seed, fleet_kernel):
+        rng = np.random.default_rng(6000 + seed)
+        workload = edgy_workload(rng)
+        problem = packing_problem(workload, rng)
+        selection = GreedySelectPairs().select(problem)
+        for rung in ("b", "c", "d", "e"):
+            opts = CBPOptions.ladder(rung)
+            fast = CustomBinPacking(opts).pack(problem, selection)
+            loop = LoopCustomBinPacking(opts).pack(problem, selection)
+            assert_identical_placements(fast, loop, problem)
+            assert validate_placement(problem, fast).ok, f"rung {rung}"
+
+    @pytest.mark.parametrize("seed", range(NUM_RANDOM_WORKLOADS))
+    def test_cheaper_to_distribute_same_verdict(self, seed, fleet_kernel):
+        # Algorithm 7 head-to-head on partially packed fleets, across
+        # counts around and beyond what the fleet can absorb.
+        rng = np.random.default_rng(7000 + seed)
+        workload = edgy_workload(rng)
+        problem = packing_problem(workload, rng)
+        selection = GreedySelectPairs().select(problem)
+        placement = CustomBinPacking(CBPOptions.ladder("d")).pack(problem, selection)
+        if placement.num_vms == 0:
+            return
+        rates = workload.event_rates
+        msg = workload.message_size_bytes
+        for t in range(workload.num_topics):
+            topic_bytes = float(rates[t]) * msg
+            if 2.0 * topic_bytes > problem.capacity_bytes:
+                continue
+            for count in (1, 3, int(rng.integers(1, 50))):
+                fast = cheaper_to_distribute(
+                    placement, problem.plan, t, topic_bytes, count
+                )
+                loop = cheaper_to_distribute_loop(
+                    placement, problem.plan, t, topic_bytes, count
+                )
+                assert fast == loop, f"topic {t} count {count}"
+
+    def test_full_selection_and_empty(self, tiny_problem):
+        full = PairSelection.full(tiny_problem.workload)
+        fast = CustomBinPacking().pack(tiny_problem, full)
+        loop = LoopCustomBinPacking().pack(tiny_problem, full)
+        assert_identical_placements(fast, loop, tiny_problem)
+        empty = CustomBinPacking().pack(tiny_problem, PairSelection({}))
+        assert empty.num_vms == 0
+
+    def test_big_topic_fresh_vm_batch(self):
+        # One topic spanning several fresh VMs: the batched np.split
+        # deployment must chunk exactly like the referee's while-loop.
+        w = Workload([10.0], [[0]] * 23, message_size_bytes=1.0)
+        problem = MCSSProblem(w, 10, make_unit_plan(50.0))
+        full = PairSelection.full(w)
+        fast = CustomBinPacking().pack(problem, full)
+        loop = LoopCustomBinPacking().pack(problem, full)
+        assert_identical_placements(fast, loop, problem)
+        assert fast.num_vms == 6  # 4 pairs per VM (40 out + 10 in), 23 pairs
+
+
+class TestFFBPEquivalence:
+    """Array-enumerated FFBP == the retained ffbp-loop referee."""
+
+    @pytest.mark.parametrize("seed", range(NUM_RANDOM_WORKLOADS))
+    def test_random_workloads(self, seed):
+        rng = np.random.default_rng(8000 + seed)
+        workload = edgy_workload(rng)
+        problem = packing_problem(workload, rng)
+        selection = GreedySelectPairs().select(problem)
+        fast = FFBinPacking().pack(problem, selection)
+        loop = LoopFFBinPacking().pack(problem, selection)
+        assert_identical_placements(fast, loop, problem)
+
+    def test_full_selection(self, tiny_problem):
+        full = PairSelection.full(tiny_problem.workload)
+        fast = FFBinPacking().pack(tiny_problem, full)
+        loop = LoopFFBinPacking().pack(tiny_problem, full)
+        assert_identical_placements(fast, loop, tiny_problem)
 
 
 class TestValidatorEquivalence:
