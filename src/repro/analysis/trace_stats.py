@@ -119,27 +119,21 @@ def mean_sc_by_followings(
     """
     # Rebuild the subscriber <-> user alignment the compaction used:
     # subscribers are the users with >= 1 active followed topic, in
-    # user order.
-    active = (graph.event_counts >= 1) & (graph.follower_counts >= 1)
+    # user order.  Whole-array over the CSR graph: count each user's
+    # active followings with one bincount over the flat targets.
+    active_mask = (graph.event_counts >= 1) & (graph.follower_counts >= 1)
     total = float(workload.event_rates.sum())
     sc_by_subscriber = workload.interest_rate_sums() / total * 100.0
 
-    followings = []
-    sc = []
-    sub = 0
-    active_set = np.flatnonzero(active)
-    active_mask = np.zeros(graph.num_users, dtype=bool)
-    active_mask[active_set] = True
-    for u in range(graph.num_users):
-        mapped = graph.followings[u]
-        if mapped.size and active_mask[mapped].any():
-            if sub >= workload.num_subscribers:
-                raise ValueError("graph/workload mismatch: not the same trace?")
-            followings.append(mapped.size)
-            sc.append(sc_by_subscriber[sub])
-            sub += 1
-    if sub != workload.num_subscribers:
+    flat_active = active_mask[graph.following_targets]
+    # Per-user count of active followings, via the running total of
+    # active pairs sampled at each user's CSR boundary (no O(edges)
+    # owner-id temporary).
+    active_running = np.zeros(graph.num_edges + 1, dtype=np.int64)
+    np.cumsum(flat_active, out=active_running[1:])
+    active_followed = np.diff(active_running[graph.following_indptr])
+    subscribers = np.flatnonzero(active_followed > 0)
+    if subscribers.size != workload.num_subscribers:
         raise ValueError("graph/workload mismatch: not the same trace?")
-    return _binned_means(
-        np.asarray(followings), np.asarray(sc), bins_per_decade
-    )
+    followings = graph.following_counts()[subscribers]
+    return _binned_means(followings, sc_by_subscriber, bins_per_decade)

@@ -35,7 +35,10 @@ Construction validation (id range, per-subscriber duplicates) is also
 performed as whole-array passes, so building a million-subscriber
 workload does not loop over subscribers for anything but the initial
 per-subscriber ``np.asarray`` conversion.  :meth:`Workload.from_csr`
-skips even that when the caller already has flat arrays.
+skips even that when the caller already has flat arrays -- it is the
+entry point of every bulk generator (the synthetic Zipf/uniform draws
+and, since generator version 3, the social-graph compaction in
+:mod:`repro.workloads.social`).
 
 Units
 -----
@@ -552,11 +555,12 @@ class Workload:
         counts = np.diff(self._indptr)[keep] if keep.size else np.empty(0, np.int64)
         indptr = np.zeros(keep.size + 1, dtype=np.int64)
         np.cumsum(counts, out=indptr[1:])
-        if keep.size:
-            take = np.concatenate(
-                [np.arange(self._indptr[v], self._indptr[v + 1]) for v in keep.tolist()]
-            ) if int(counts.sum()) else np.empty(0, np.int64)
-            flat = self._flat_topics[take]
+        if keep.size and int(indptr[-1]):
+            # Gather every kept subscriber's flat range in one pass:
+            # global positions are the new offsets shifted segment-wise
+            # to each kept subscriber's old start.
+            shift = np.repeat(self._indptr[keep] - indptr[:-1], counts)
+            flat = self._flat_topics[np.arange(int(indptr[-1])) + shift]
         else:
             flat = np.empty(0, dtype=np.int64)
         labels = (

@@ -20,7 +20,13 @@ from .io import (
     save_workload_csv,
 )
 from .sampling import sample_subscribers
-from .social import SocialGraph, build_social_graph, generate_social_workload
+from .social import (
+    SocialGraph,
+    build_social_graph,
+    build_social_graph_loop,
+    generate_social_workload,
+    generate_social_workload_loop,
+)
 from .spotify import SpotifyConfig, SpotifyWorkloadGenerator
 from .synthetic import GENERATOR_VERSION, uniform_workload, zipf_workload
 from .trace import GeneratedTrace
@@ -43,7 +49,9 @@ __all__ = [
     "sample_subscribers",
     "SocialGraph",
     "build_social_graph",
+    "build_social_graph_loop",
     "generate_social_workload",
+    "generate_social_workload_loop",
     "SpotifyConfig",
     "SpotifyWorkloadGenerator",
     "GENERATOR_VERSION",

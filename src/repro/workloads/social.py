@@ -18,45 +18,214 @@ Only *active* users (>= 1 event in the period) with >= 1 follower
 become topics, mirroring the paper's preprocessing of the Twitter data;
 pairs pointing at inactive users are dropped, and users left with no
 followings drop out of the subscriber set.
+
+CSR graph representation (GENERATOR_VERSION 3)
+----------------------------------------------
+Since generator version 3 the follower graph is stored in CSR
+(compressed sparse row) form: one flat ``following_targets`` array
+holding every user's followings back to back (ascending within each
+user) and a ``following_indptr`` offset array of length ``n + 1`` such
+that user ``u`` follows ``following_targets[indptr[u]:indptr[u+1]]``.
+The classic tuple-of-arrays view (:attr:`SocialGraph.followings`) is
+materialized lazily as read-only, zero-copy slices of the flat array,
+so the Fig. 8-12 analysis code keeps working unchanged.
+
+Construction is whole-array end to end: one global weighted draw for
+all edges, one packed-key sort + segmented-unique pass for dedup (which
+also leaves each user's picks sorted), and vectorized
+scatter/compaction top-up rounds over all deficient users at once.
+The weighted draw itself is *exchangeability-based*: instead of
+``rng.choice(..., p=probs)`` (an O(log n) binary search per edge), the
+builder draws per-target totals with one ``rng.multinomial`` and
+shuffles the repeated targets across edge slots -- for i.i.d.
+sampling, (multinomial counts, uniformly random arrangement) is
+*exactly* the same joint distribution as per-slot weighted picks, at a
+fraction of the cost.  The per-seed random streams therefore differ
+from the retained per-user loop (kept verbatim as
+:func:`build_social_graph_loop`, the executable spec); the randomized
+equivalence suite pins the *distributions* (followings, followers,
+event rates) against the referee with KS-style checks instead of
+bit-identity.  :func:`generate_social_workload` is a pure array remap
+(active-topic relabel + segmented filter) feeding
+:meth:`repro.core.Workload.from_csr` directly, with no intermediate
+list of per-subscriber arrays.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Callable, List, Optional, Tuple
+from typing import Callable, List, Sequence, Tuple
 
 import numpy as np
 
 from ..core import Workload
 
-__all__ = ["SocialGraph", "generate_social_workload", "build_social_graph"]
+__all__ = [
+    "SocialGraph",
+    "generate_social_workload",
+    "generate_social_workload_loop",
+    "build_social_graph",
+    "build_social_graph_loop",
+]
 
 RateModel = Callable[[np.ndarray, np.random.Generator], np.ndarray]
 """Maps per-user follower counts to integer event counts."""
+
+#: Top-up rounds for users left short by dedup; each round draws twice
+#: every open deficit from the popularity distribution, so the residual
+#: shortfall decays geometrically (6 rounds suffice in practice).
+_TOPUP_ROUNDS = 6
 
 
 @dataclass(frozen=True)
 class SocialGraph:
     """The raw follower graph behind a workload (kept for Figs. 8-12).
 
-    ``followings[u]`` lists the users ``u`` follows; ``follower_counts``
-    and ``event_counts`` are per-user.  The companion
+    CSR-backed: user ``u`` follows
+    ``following_targets[following_indptr[u]:following_indptr[u+1]]``
+    (ascending); ``follower_counts`` and ``event_counts`` are per-user.
+    :attr:`followings` recovers the classic tuple-of-arrays view as
+    lazy zero-copy slices.  The companion
     :class:`~repro.core.workload.Workload` compacts this to active
     topics only; trace-analysis figures want the uncompacted view.
     """
 
-    followings: Tuple[np.ndarray, ...]
+    following_indptr: np.ndarray
+    following_targets: np.ndarray
     follower_counts: np.ndarray
     event_counts: np.ndarray
+
+    @classmethod
+    def from_followings(
+        cls,
+        followings: Sequence[np.ndarray],
+        follower_counts: np.ndarray,
+        event_counts: np.ndarray,
+    ) -> "SocialGraph":
+        """Pack a per-user list of following arrays into CSR form."""
+        counts = np.fromiter(
+            (f.size for f in followings), dtype=np.int64, count=len(followings)
+        )
+        indptr = np.zeros(len(followings) + 1, dtype=np.int64)
+        np.cumsum(counts, out=indptr[1:])
+        flat = (
+            np.concatenate(followings)
+            if len(followings) and indptr[-1]
+            else np.empty(0, dtype=np.int64)
+        )
+        flat = flat.astype(np.int64, copy=False)
+        # Freeze the CSR arrays this constructor built itself; the
+        # caller-owned per-user arrays stay writable in their hands.
+        indptr.setflags(write=False)
+        if flat.flags.owndata:
+            flat.setflags(write=False)
+        return cls(
+            following_indptr=indptr,
+            following_targets=flat,
+            follower_counts=follower_counts,
+            event_counts=event_counts,
+        )
 
     @property
     def num_users(self) -> int:
         """Total number of users in the graph."""
-        return len(self.followings)
+        return int(self.following_indptr.size - 1)
+
+    @property
+    def num_edges(self) -> int:
+        """Total number of follow edges in the graph."""
+        return int(self.following_indptr[-1])
+
+    @property
+    def followings(self) -> Tuple[np.ndarray, ...]:
+        """Per-user following arrays (``followings[u]`` = whom ``u`` follows).
+
+        Lazily materialized as read-only views into the flat CSR array
+        (no copies); the CSR arrays are the primary representation.
+        """
+        cached = self.__dict__.get("_followings_cache")
+        if cached is None:
+            if self.num_users == 0:
+                cached = ()
+            else:
+                cached = tuple(
+                    np.split(
+                        self.following_targets,
+                        self.following_indptr[1:-1].tolist(),
+                    )
+                )
+            object.__setattr__(self, "_followings_cache", cached)
+        return cached
 
     def following_counts(self) -> np.ndarray:
-        """Out-degree (number of followings) per user."""
-        return np.asarray([f.size for f in self.followings], dtype=np.int64)
+        """Out-degree (number of followings) per user -- one ``np.diff``."""
+        return np.diff(self.following_indptr)
+
+
+def _validate_inputs(
+    num_users: int,
+    following_counts: np.ndarray,
+    popularity_weights: np.ndarray,
+) -> Tuple[np.ndarray, np.ndarray]:
+    if num_users <= 1:
+        raise ValueError("need at least two users")
+    if len(following_counts) != num_users or len(popularity_weights) != num_users:
+        raise ValueError("per-user arrays must have length num_users")
+    if popularity_weights.min() < 0 or popularity_weights.sum() <= 0:
+        raise ValueError("popularity weights must be non-negative, not all zero")
+    counts = np.clip(np.asarray(following_counts, dtype=np.int64), 0, num_users - 1)
+    probs = np.asarray(popularity_weights, dtype=np.float64)
+    probs = probs / probs.sum()
+    return counts, probs
+
+
+def _checked_event_counts(
+    rate_model: RateModel,
+    follower_counts: np.ndarray,
+    rng: np.random.Generator,
+    num_users: int,
+) -> np.ndarray:
+    event_counts = np.asarray(rate_model(follower_counts, rng), dtype=np.int64)
+    if event_counts.shape != (num_users,):
+        raise ValueError("rate model must return one count per user")
+    if event_counts.min() < 0:
+        raise ValueError("rate model produced negative event counts")
+    return event_counts
+
+
+def _weighted_multiset(
+    rng: np.random.Generator, size: int, probs: np.ndarray
+) -> np.ndarray:
+    """``size`` i.i.d. draws from ``probs``, as an unordered-equivalent array.
+
+    Exchangeability shortcut: draw the per-target totals with one
+    ``multinomial`` and arrange the repeated targets uniformly at
+    random across the slots.  The joint distribution over slots is
+    exactly that of per-slot weighted picks (i.i.d. sequence ==
+    multinomial counts + uniform arrangement), but costs one O(n)
+    counts draw plus one O(size) shuffle instead of a binary search
+    per slot.
+    """
+    draws = np.repeat(
+        np.arange(probs.size, dtype=np.int64), rng.multinomial(size, probs)
+    )
+    rng.shuffle(draws)
+    return draws
+
+
+def _sorted_unique(keys: np.ndarray) -> np.ndarray:
+    """Sorted distinct values of ``keys``: one sort + one neighbour mask.
+
+    Equivalent to ``np.unique`` but avoids its hash-based path, which
+    is an order of magnitude slower on multi-million-key arrays.
+    """
+    if keys.size == 0:
+        return keys
+    keys = np.sort(keys)
+    mask = np.empty(keys.size, dtype=bool)
+    mask[0] = True
+    np.not_equal(keys[1:], keys[:-1], out=mask[1:])
+    return keys[mask]
 
 
 def build_social_graph(
@@ -71,24 +240,110 @@ def build_social_graph(
     Every user draws her followings i.i.d. from the popularity
     distribution (duplicates and self-follows removed), so a user's
     expected follower count is proportional to her weight.
+
+    Whole-array implementation: edges live as packed ``u * n + target``
+    keys, deduplicated with one global sort + segmented-unique pass per
+    round (which also leaves each user's picks sorted).  Duplicate
+    draws (frequent when the popularity weights are heavy) are topped
+    up in a few extra global rounds so each user ends with her
+    *declared* out-degree -- otherwise the distribution anomalies at
+    20/2000 followings (Appendix D) would smear away during
+    deduplication.  Same sampling scheme as
+    :func:`build_social_graph_loop` (the loop referee) but different
+    per-seed streams (see :func:`_weighted_multiset`); the randomized
+    equivalence suite pins the distributions with KS-style checks.
     """
-    if num_users <= 1:
-        raise ValueError("need at least two users")
-    if len(following_counts) != num_users or len(popularity_weights) != num_users:
-        raise ValueError("per-user arrays must have length num_users")
-    if popularity_weights.min() < 0 or popularity_weights.sum() <= 0:
-        raise ValueError("popularity weights must be non-negative, not all zero")
+    counts, probs = _validate_inputs(num_users, following_counts, popularity_weights)
+    n = np.int64(num_users)
 
-    counts = np.clip(np.asarray(following_counts, dtype=np.int64), 0, num_users - 1)
-    probs = np.asarray(popularity_weights, dtype=np.float64)
-    probs = probs / probs.sum()
+    total_edges = int(counts.sum())
+    targets = _weighted_multiset(rng, total_edges, probs)
+    owners = np.repeat(np.arange(num_users, dtype=np.int64), counts)
 
-    # One global draw for all edges, then slice per user: much faster
-    # than per-user weighted sampling.  Duplicate draws (frequent when
-    # the popularity weights are heavy) are topped up in a few extra
-    # global rounds so each user ends with her *declared* out-degree --
-    # otherwise the distribution anomalies at 20/2000 followings
-    # (Appendix D) would smear away during deduplication.
+    # Packed keys cannot collide across users; one global sort dedups
+    # every user's draw in one pass and sorts each segment.
+    keys = _sorted_unique(owners * n + targets)
+    key_owners = keys // n
+    no_self = keys - key_owners * n != key_owners
+    keys = keys[no_self]
+    # `held` tracks each user's current out-degree and is maintained
+    # incrementally; by construction it always equals the per-user key
+    # counts, so the final indptr is one cumsum away.
+    held = np.bincount(key_owners[no_self], minlength=num_users)
+
+    for _round in range(_TOPUP_ROUNDS):
+        deficits = counts - held
+        short = np.flatnonzero(deficits > 0)
+        total_deficit = int(deficits[short].sum())
+        if total_deficit == 0:
+            break
+        pool = _weighted_multiset(rng, 2 * total_deficit, probs)
+        draw_owners = np.repeat(short, 2 * deficits[short])
+        cand = _sorted_unique(draw_owners * n + pool)
+        cowners = cand // n
+        mask = cand - cowners * n != cowners  # drop self-follows
+        cand, cowners = cand[mask], cowners[mask]
+        # Segmented set-difference against the held keys (both sorted);
+        # `pos` doubles as the merge position for np.insert below.
+        pos = np.searchsorted(keys, cand)
+        if keys.size:
+            mask = keys[np.minimum(pos, keys.size - 1)] != cand
+            cand, cowners, pos = cand[mask], cowners[mask], pos[mask]
+        if cand.size:
+            # Keep each user's *smallest* `deficit` new targets -- the
+            # loop referee's sorted-surplus trim -- via a segmented
+            # rank over the (already sorted) candidate keys.
+            boundary = np.flatnonzero(cowners[1:] != cowners[:-1]) + 1
+            seg_first = np.concatenate((np.zeros(1, dtype=np.int64), boundary))
+            seg_id = np.zeros(cand.size, dtype=np.int64)
+            seg_id[boundary] = 1
+            np.cumsum(seg_id, out=seg_id)
+            rank = np.arange(cand.size, dtype=np.int64) - seg_first[seg_id]
+            mask = rank < deficits[cowners]
+            cand, cowners, pos = cand[mask], cowners[mask], pos[mask]
+            # Both sides sorted: one O(edges) scatter-merge instead of
+            # re-sorting the whole key array every round.
+            keys = np.insert(keys, pos, cand)
+            held += np.bincount(cowners, minlength=num_users)
+
+    flat = keys % n
+    indptr = np.zeros(num_users + 1, dtype=np.int64)
+    np.cumsum(held, out=indptr[1:])
+    follower_counts = np.bincount(flat, minlength=num_users)
+
+    event_counts = _checked_event_counts(rate_model, follower_counts, rng, num_users)
+    # All three arrays were built here; freeze them (the event counts
+    # may alias the rate model's own buffer, so they stay writable).
+    for arr in (flat, indptr, follower_counts):
+        arr.setflags(write=False)
+    return SocialGraph(
+        following_indptr=indptr,
+        following_targets=flat,
+        follower_counts=follower_counts,
+        event_counts=event_counts,
+    )
+
+
+def build_social_graph_loop(
+    num_users: int,
+    rng: np.random.Generator,
+    following_counts: np.ndarray,
+    popularity_weights: np.ndarray,
+    rate_model: RateModel,
+) -> SocialGraph:
+    """Loop referee: the original per-user construction, kept verbatim.
+
+    Executable specification for :func:`build_social_graph` (the
+    repo's loop-referee convention).  Draws each edge with per-slot
+    ``rng.choice`` picks, so its per-seed streams differ from the
+    vectorized builder's multinomial-and-shuffle draw; the two agree
+    in *distribution* (pinned by the KS-style equivalence tests) and
+    in every structural invariant (declared out-degrees, no
+    self-follows, no duplicates).  O(users) Python overhead -- only
+    for tests and the profile script.
+    """
+    counts, probs = _validate_inputs(num_users, following_counts, popularity_weights)
+
     total_edges = int(counts.sum())
     targets = rng.choice(num_users, size=total_edges, p=probs)
 
@@ -100,7 +355,7 @@ def build_social_graph(
         offset += k
         picks_by_user.append(picks[picks != u])
 
-    for _round in range(6):
+    for _round in range(_TOPUP_ROUNDS):
         deficits = [
             int(counts[u]) - picks_by_user[u].size for u in range(num_users)
         ]
@@ -125,24 +380,21 @@ def build_social_graph(
                 )
             picks_by_user[u] = merged
 
-    followings: List[np.ndarray] = []
     follower_counts = np.zeros(num_users, dtype=np.int64)
     for picks in picks_by_user:
-        picks.setflags(write=False)
-        followings.append(picks)
         follower_counts[picks] += 1
 
-    event_counts = np.asarray(rate_model(follower_counts, rng), dtype=np.int64)
-    if event_counts.shape != (num_users,):
-        raise ValueError("rate model must return one count per user")
-    if event_counts.min() < 0:
-        raise ValueError("rate model produced negative event counts")
+    event_counts = _checked_event_counts(rate_model, follower_counts, rng, num_users)
+    return SocialGraph.from_followings(picks_by_user, follower_counts, event_counts)
 
-    return SocialGraph(
-        followings=tuple(followings),
-        follower_counts=follower_counts,
-        event_counts=event_counts,
-    )
+
+def _active_topic_index(graph: SocialGraph) -> Tuple[np.ndarray, np.ndarray]:
+    """Active users (>= 1 event, >= 1 follower) and the user->topic map."""
+    active = (graph.event_counts >= 1) & (graph.follower_counts >= 1)
+    topic_ids = np.flatnonzero(active)
+    topic_index = np.full(graph.num_users, -1, dtype=np.int64)
+    topic_index[topic_ids] = np.arange(topic_ids.size)
+    return topic_ids, topic_index
 
 
 def generate_social_workload(
@@ -153,11 +405,50 @@ def generate_social_workload(
 
     Topics are the *active* users (>= 1 event and >= 1 follower);
     subscribers are the users still following at least one topic.
+
+    Pure array remap: relabel the flat CSR targets through the
+    active-topic index, drop the pairs that map to inactive users with
+    one boolean compaction, rebuild the offsets by sampling the
+    running kept-pair total at the old CSR boundaries, and hand the
+    arrays to :meth:`Workload.from_csr` (the relabeling is monotone,
+    so each subscriber's interest stays sorted and duplicate-free --
+    the contract ``validate=False`` asserts).
     """
-    active = (graph.event_counts >= 1) & (graph.follower_counts >= 1)
-    topic_ids = np.flatnonzero(active)
-    topic_index = np.full(graph.num_users, -1, dtype=np.int64)
-    topic_index[topic_ids] = np.arange(topic_ids.size)
+    topic_ids, topic_index = _active_topic_index(graph)
+
+    mapped = topic_index[graph.following_targets]
+    keep = mapped >= 0
+    # Per-user surviving-pair counts without materializing an O(edges)
+    # owner-id array: the running total of kept pairs, sampled at each
+    # user's CSR boundary.
+    kept_running = np.zeros(graph.num_edges + 1, dtype=np.int64)
+    np.cumsum(keep, out=kept_running[1:])
+    kept_counts = np.diff(kept_running[graph.following_indptr])
+    subscriber_counts = kept_counts[kept_counts > 0]
+    indptr = np.zeros(subscriber_counts.size + 1, dtype=np.int64)
+    np.cumsum(subscriber_counts, out=indptr[1:])
+
+    rates = graph.event_counts[topic_ids].astype(np.float64)
+    return Workload.from_csr(
+        rates,
+        indptr,
+        mapped[keep],
+        message_size_bytes=message_size_bytes,
+        validate=False,
+    )
+
+
+def generate_social_workload_loop(
+    graph: SocialGraph,
+    message_size_bytes: float = 200.0,
+) -> Workload:
+    """Loop referee: the original per-user compaction, kept verbatim.
+
+    Executable specification for :func:`generate_social_workload`;
+    builds the interests as a list of per-subscriber arrays and pays
+    the positional :class:`Workload` constructor's validation.
+    """
+    topic_ids, topic_index = _active_topic_index(graph)
 
     interests: List[np.ndarray] = []
     for u in range(graph.num_users):

@@ -20,6 +20,13 @@ Spotify (up to ~38%) than on Twitter (up to ~74%): with homogeneous
 rates there is less slack between a random pair choice and a clever
 one.  The generator keeps those contrasts; knobs live on
 :class:`SpotifyConfig`.
+
+Since :data:`~repro.workloads.synthetic.GENERATOR_VERSION` 3 the graph
+construction is whole-array (CSR
+:class:`~repro.workloads.social.SocialGraph`, multinomial-and-shuffle
+weighted draws).  Per-seed streams changed from version 2; the sampled
+distributions are unchanged and pinned against the
+``build_social_graph_loop`` referee by KS-style equivalence tests.
 """
 
 from __future__ import annotations
@@ -73,6 +80,10 @@ class SpotifyWorkloadGenerator:
 
     name = "spotify"
 
+    #: Testing seam: the randomized equivalence suite swaps in
+    #: ``build_social_graph_loop`` to pin the vectorized construction.
+    _graph_builder = staticmethod(build_social_graph)
+
     def __init__(self, config: SpotifyConfig = SpotifyConfig()) -> None:
         self.config = config
 
@@ -95,7 +106,7 @@ class SpotifyWorkloadGenerator:
         artists = rng.random(cfg.num_users) < cfg.artist_prob
         weights[artists] *= cfg.artist_boost
 
-        graph = build_social_graph(
+        graph = self._graph_builder(
             cfg.num_users,
             rng,
             following_counts=following,

@@ -3,7 +3,11 @@
 The optimization pipeline only needs the
 :class:`~repro.core.workload.Workload`; the trace-analysis figures
 (Figs. 8-12) need the *uncompacted* social graph (follower counts of
-inactive users included).  Generators return both, bundled.
+inactive users included).  Generators return both, bundled.  Since
+generator version 3 the graph is CSR-backed
+(:class:`~repro.workloads.social.SocialGraph`), so the bundle holds
+exactly two flat arrays per view -- no per-user Python objects even at
+millions of users.
 """
 
 from __future__ import annotations
@@ -30,7 +34,8 @@ class GeneratedTrace:
         """One-line summary for experiment logs."""
         stats = self.workload.stats()
         return (
-            f"{self.name}(seed={self.seed}): {stats.num_topics} topics, "
+            f"{self.name}(seed={self.seed}): {self.graph.num_users} users / "
+            f"{self.graph.num_edges} edges -> {stats.num_topics} topics, "
             f"{stats.num_subscribers} subscribers, {stats.num_pairs} pairs, "
             f"mean interest {stats.mean_interest_size:.1f}"
         )

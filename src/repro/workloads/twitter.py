@@ -22,6 +22,15 @@ reproduces its *statistical shape* at a configurable scale:
 All knobs live on :class:`TwitterConfig`; the defaults are calibrated
 so that a 20k-user draw matches the paper's per-user statistics (mean
 followings ~23 after filtering, heavy-tailed rates with mean ~60).
+
+Since :data:`~repro.workloads.synthetic.GENERATOR_VERSION` 3 the graph
+construction behind :meth:`TwitterWorkloadGenerator.generate` is
+whole-array (CSR :class:`~repro.workloads.social.SocialGraph`, one
+multinomial-and-shuffle weighted draw, global packed-key dedup,
+vectorized deficit top-up).  Per-seed streams changed from version 2;
+the sampled *distributions* are unchanged and are pinned against the
+retained ``build_social_graph_loop`` referee by KS-style equivalence
+tests.
 """
 
 from __future__ import annotations
@@ -88,6 +97,10 @@ class TwitterWorkloadGenerator:
 
     name = "twitter"
 
+    #: Testing seam: the randomized equivalence suite swaps in
+    #: ``build_social_graph_loop`` to pin the vectorized construction.
+    _graph_builder = staticmethod(build_social_graph)
+
     def __init__(self, config: TwitterConfig = TwitterConfig()) -> None:
         self.config = config
 
@@ -113,7 +126,7 @@ class TwitterWorkloadGenerator:
         boosted = rng.random(cfg.num_users) < cfg.suggested_user_prob
         weights[boosted] *= cfg.suggested_user_boost
 
-        graph = build_social_graph(
+        graph = self._graph_builder(
             cfg.num_users,
             rng,
             following_counts=following,

@@ -20,7 +20,15 @@ as executable specifications:
   rung b/c/d/e, across randomized pricing plans so the cost-based
   decision (Algorithm 7) exercises both verdicts;
 * ``FFBinPacking`` (CSR pair enumeration + batch assigns)  ==
-  ``LoopFFBinPacking`` (the ``ffbp-loop`` referee).
+  ``LoopFFBinPacking`` (the ``ffbp-loop`` referee);
+* ``build_social_graph`` (whole-array CSR construction,
+  multinomial-and-shuffle draws)  ~=  ``build_social_graph_loop`` (the
+  retained per-user referee) -- *distributional* equivalence (KS-style
+  checks on followings/followers/rates; the draw methods are
+  distribution-identical by exchangeability but their per-seed streams
+  differ) plus shared structural invariants, and
+  ``generate_social_workload`` == ``generate_social_workload_loop``
+  *bit-exactly* on any shared graph (the compaction is deterministic).
 
 All generated rates are integer-valued, so every partial sum is
 exactly representable and the equivalence is bit-exact (the documented
@@ -61,6 +69,12 @@ from repro.selection import (
     GreedySelectPairs,
     LoopGreedySelectPairs,
     ReferenceGreedySelectPairs,
+)
+from repro.workloads import (
+    build_social_graph,
+    build_social_graph_loop,
+    generate_social_workload,
+    generate_social_workload_loop,
 )
 from tests.conftest import make_unit_plan
 
@@ -336,6 +350,170 @@ class TestFFBPEquivalence:
         fast = FFBinPacking().pack(tiny_problem, full)
         loop = LoopFFBinPacking().pack(tiny_problem, full)
         assert_identical_placements(fast, loop, tiny_problem)
+
+
+def ks_statistic(a: np.ndarray, b: np.ndarray) -> float:
+    """Two-sample Kolmogorov-Smirnov statistic (sup of |CDF_a - CDF_b|)."""
+    a, b = np.sort(np.asarray(a)), np.sort(np.asarray(b))
+    grid = np.concatenate([a, b])
+    grid.sort(kind="stable")
+    cdf_a = np.searchsorted(a, grid, side="right") / max(a.size, 1)
+    cdf_b = np.searchsorted(b, grid, side="right") / max(b.size, 1)
+    return float(np.abs(cdf_a - cdf_b).max()) if grid.size else 0.0
+
+
+def social_inputs(rng: np.random.Generator, num_users: int):
+    """Heavy-tailed construction inputs that stress dedup + top-up."""
+    counts = np.minimum(
+        rng.geometric(0.08, size=num_users), num_users - 1
+    ).astype(np.int64)
+    counts[rng.random(num_users) < 0.05] = 0  # some users follow nobody
+    weights = 1.0 + rng.pareto(0.9, size=num_users)  # heavy: many dup draws
+
+    def rate_model(followers, r):
+        out = r.integers(0, 4, size=followers.size)
+        return out
+
+    return counts, weights, rate_model
+
+
+class TestSocialConstructionEquivalence:
+    """Whole-array social-graph construction vs the per-user referee.
+
+    The vectorized builder's weighted draw (one multinomial + shuffle)
+    is distribution-identical to the referee's per-slot ``rng.choice``
+    by exchangeability, but the per-seed streams differ -- so the
+    pinning here is KS-style distribution checks plus the structural
+    invariants both constructions guarantee, and *bit-exact* identity
+    for the (deterministic) compaction stage.
+    """
+
+    @pytest.mark.parametrize("seed", range(NUM_RANDOM_WORKLOADS))
+    def test_structural_invariants(self, seed):
+        rng = np.random.default_rng(9000 + seed)
+        n = int(rng.integers(2, 400))
+        counts, weights, rate_model = social_inputs(rng, n)
+        graph = build_social_graph(
+            n, np.random.default_rng(seed), counts, weights, rate_model
+        )
+        out_degrees = graph.following_counts()
+        # CSR satellite fix: out-degrees come straight from the indptr.
+        assert np.array_equal(out_degrees, np.diff(graph.following_indptr))
+        assert int(graph.following_indptr[0]) == 0
+        # Never exceeds the declared out-degree (clipped to n - 1).
+        assert (out_degrees <= np.clip(counts, 0, n - 1)).all()
+        owners = np.repeat(np.arange(n, dtype=np.int64), out_degrees)
+        targets = graph.following_targets
+        assert (targets != owners).all()  # no self-follows
+        # Sorted and duplicate-free within each user: packed keys are
+        # globally strictly increasing.
+        keys = owners * n + targets
+        assert (np.diff(keys) > 0).all()
+        assert np.array_equal(
+            graph.follower_counts, np.bincount(targets, minlength=n)
+        )
+        # The lazy tuple view is zero-copy over the flat array.
+        for u in (0, n // 2, n - 1):
+            view = graph.followings[u]
+            assert view.base is graph.following_targets or view.size == 0
+            assert np.array_equal(
+                view,
+                targets[graph.following_indptr[u] : graph.following_indptr[u + 1]],
+            )
+
+    @pytest.mark.parametrize("seed", range(NUM_RANDOM_WORKLOADS))
+    def test_compaction_identity_on_shared_graph(self, seed):
+        # generate_social_workload is deterministic: on the *same*
+        # graph the vectorized remap and the loop referee must agree
+        # bit for bit (rates, offsets, flat topics).
+        rng = np.random.default_rng(9500 + seed)
+        n = int(rng.integers(2, 400))
+        counts, weights, rate_model = social_inputs(rng, n)
+        graph = build_social_graph(
+            n, np.random.default_rng(seed), counts, weights, rate_model
+        )
+        fast = generate_social_workload(graph)
+        loop = generate_social_workload_loop(graph)
+        assert np.array_equal(fast.event_rates, loop.event_rates)
+        assert np.array_equal(fast.interest_indptr, loop.interest_indptr)
+        assert np.array_equal(fast.interest_topics, loop.interest_topics)
+        assert fast.num_pairs == loop.num_pairs
+
+    def test_determinism_same_seed(self):
+        rng = np.random.default_rng(42)
+        n = 300
+        counts, weights, rate_model = social_inputs(rng, n)
+        a = build_social_graph(n, np.random.default_rng(5), counts, weights, rate_model)
+        b = build_social_graph(n, np.random.default_rng(5), counts, weights, rate_model)
+        assert np.array_equal(a.following_targets, b.following_targets)
+        assert np.array_equal(a.following_indptr, b.following_indptr)
+        assert np.array_equal(a.event_counts, b.event_counts)
+
+    def test_distributions_match_loop_referee(self):
+        # Shared inputs, separate edge streams: the achieved
+        # followings, follower counts and event counts must agree in
+        # distribution with the per-user referee.  At n = 3000 the
+        # same-distribution KS statistic is well below the thresholds.
+        rng = np.random.default_rng(77)
+        n = 3000
+        counts, weights, rate_model = social_inputs(rng, n)
+        fast = build_social_graph(
+            n, np.random.default_rng(1), counts, weights, rate_model
+        )
+        loop = build_social_graph_loop(
+            n, np.random.default_rng(1), counts, weights, rate_model
+        )
+        assert ks_statistic(fast.following_counts(), loop.following_counts()) < 0.02
+        assert ks_statistic(fast.follower_counts, loop.follower_counts) < 0.05
+        assert ks_statistic(fast.event_counts, loop.event_counts) < 0.05
+        # Popularity attachment preserved: both builders give the
+        # heavy-weight users the same share of all follows.
+        top = np.argsort(weights)[-30:]
+        fast_share = fast.follower_counts[top].sum() / fast.num_edges
+        loop_share = loop.follower_counts[top].sum() / loop.num_edges
+        assert abs(fast_share - loop_share) < 0.05
+
+    def test_degenerate_graphs(self):
+        # Zero declared followings: an empty CSR graph and an empty
+        # workload, identically on both compaction paths.
+        g = build_social_graph(
+            3,
+            np.random.default_rng(0),
+            np.zeros(3, dtype=np.int64),
+            np.ones(3),
+            lambda f, r: np.ones(3, dtype=np.int64),
+        )
+        assert g.num_edges == 0 and len(g.followings) == 3
+        for gen in (generate_social_workload, generate_social_workload_loop):
+            w = gen(g)
+            assert w.num_topics == 0 and w.num_subscribers == 0
+        # All users inactive: every pair is dropped by compaction.
+        g2 = build_social_graph(
+            5,
+            np.random.default_rng(1),
+            np.full(5, 2, dtype=np.int64),
+            np.ones(5),
+            lambda f, r: np.zeros(5, dtype=np.int64),
+        )
+        for gen in (generate_social_workload, generate_social_workload_loop):
+            w = gen(g2)
+            assert w.num_topics == 0 and w.num_pairs == 0
+
+    def test_loop_referee_rejects_bad_inputs_identically(self):
+        rng = np.random.default_rng(0)
+        for builder in (build_social_graph, build_social_graph_loop):
+            with pytest.raises(ValueError, match="two users"):
+                builder(1, rng, np.ones(1), np.ones(1), lambda f, r: f)
+            with pytest.raises(ValueError, match="length"):
+                builder(3, rng, np.ones(2), np.ones(3), lambda f, r: f)
+            with pytest.raises(ValueError, match="rate model"):
+                builder(
+                    5,
+                    rng,
+                    np.ones(5, dtype=int),
+                    np.ones(5),
+                    lambda f, r: np.full(5, -1),
+                )
 
 
 class TestValidatorEquivalence:
