@@ -4,10 +4,14 @@ Runs ten epochs of churn over a Twitter-like workload and measures the
 stability/optimality trade-off of the incremental reprovisioner:
 
 * drift: incremental cost over a from-scratch solve per epoch
-  (bounded by the rebuild threshold by construction);
+  (bounded by the rebuild threshold by construction; on epochs where
+  the estimate gate skipped the fresh solve, drift is measured against
+  the calibrated Algorithm-5 estimate and marked ``*``);
 * churn amplification: pairs moved per epoch relative to the pairs the
   churn itself touched (an online allocator should not reshuffle the
-  world to absorb a 4% workload change).
+  world to absorb a 4% workload change);
+* gating: how many epochs actually paid for a reference solve (the
+  default cadence runs it as a safety net, not per epoch).
 """
 
 from __future__ import annotations
@@ -47,15 +51,24 @@ def test_dynamic_reprovisioning_epochs(benchmark, twitter_trace, twitter_plans):
 
     epochs = run_once(benchmark, measure)
     print()
-    print(f"  {'epoch':>5} {'drift':>7} {'moved':>7} {'churned':>8} {'rebuilt':>8}")
+    print(
+        f"  {'epoch':>5} {'drift':>8} {'moved':>7} {'churned':>8} "
+        f"{'fresh':>6} {'rebuilt':>8}"
+    )
     drifts = []
+    fresh_solves = 0
     for epoch, churn_pairs in epochs:
         moved = epoch.pairs_added + epoch.pairs_removed + epoch.pairs_moved
         drifts.append(epoch.drift)
+        fresh_solves += epoch.fresh_solved
+        drift_mark = f"{epoch.drift:.3f}" + ("" if epoch.fresh_solved else "*")
         print(
-            f"  {epoch.epoch:>5} {epoch.drift:>7.3f} {moved:>7} "
-            f"{churn_pairs:>8} {'yes' if epoch.rebuilt else '':>8}"
+            f"  {epoch.epoch:>5} {drift_mark:>8} {moved:>7} "
+            f"{churn_pairs:>8} {'yes' if epoch.fresh_solved else '':>6} "
+            f"{'yes' if epoch.rebuilt else '':>8}"
         )
         assert epoch.drift <= 1.15 + 1e-6, "rebuild threshold must cap drift"
-    # The incremental solution stays close to fresh solves on average.
+    # The incremental solution stays close to fresh solves on average,
+    # and the reference solve is gated, not a per-epoch fixture.
     assert sum(drifts) / len(drifts) < 1.15
+    assert fresh_solves < len(epochs), "estimate gate never skipped a solve"

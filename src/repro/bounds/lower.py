@@ -21,8 +21,6 @@ function docstring) used in the ablation benches.
 
 from __future__ import annotations
 
-from typing import Set
-
 import numpy as np
 
 from ..core import MCSSProblem, SolutionCost
@@ -40,33 +38,38 @@ def lower_bound_bytes(problem: MCSSProblem, include_forced_ingest: bool = False)
     solution and therefore ingested by at least one VM.  This is sound
     (it never exceeds the true optimum) and strictly tightens the bound
     on sparse workloads; the paper's bound omits it.
+
+    Computed as whole-array passes over the CSR interests (one
+    ``np.minimum.reduceat`` for the per-subscriber minimum rates): the
+    dynamic reprovisioner prices every epoch with this bound to gate
+    its fresh-solve drift check, so it must stay O(pairs) array work
+    rather than a per-subscriber Python loop.
     """
     workload = problem.workload
     rates = workload.event_rates
     tau = float(problem.tau)
+    indptr, flat = workload.interest_csr()
+    if flat.size == 0:
+        return 0.0
 
-    total_rate = 0.0
-    forced: Set[int] = set()
-    for v in range(workload.num_subscribers):
-        interest = workload.interest(v)
-        if interest.size == 0:
-            continue
-        topic_rates = rates[interest]
-        rate_sum = float(topic_rates.sum())
-        tau_v = min(tau, rate_sum)
-        if tau_v <= 0:
-            # Already satisfied by receiving nothing; the min-rate
-            # clause of Theorem A.1 only applies when something must
-            # be delivered (with tau = 0 an empty solution is feasible
-            # and costs 0, so charging min ev_t would be unsound).
-            continue
-        # Lines 2-3 of Algorithm 5.
-        total_rate += max(tau_v, float(topic_rates.min()))
-        if include_forced_ingest and rate_sum <= tau:
-            forced.update(int(t) for t in interest.tolist())
+    nonempty = np.diff(indptr) > 0
+    sums = workload.interest_rate_sums()
+    tau_v = np.minimum(tau, sums)[nonempty]
+    # With tau_v <= 0 the subscriber is satisfied by receiving nothing;
+    # the min-rate clause of Theorem A.1 only applies when something
+    # must be delivered (an empty solution is feasible and costs 0, so
+    # charging min ev_t there would be unsound).
+    mins = np.minimum.reduceat(rates[flat], indptr[:-1][nonempty])
+    # Lines 2-3 of Algorithm 5.
+    contrib = np.maximum(tau_v, mins)
+    total_rate = float(contrib[tau_v > 0].sum())
 
-    if include_forced_ingest and forced:
-        total_rate += float(rates[np.fromiter(forced, dtype=np.int64)].sum())
+    if include_forced_ingest:
+        forced_subs = nonempty & (sums <= tau) & (np.minimum(tau, sums) > 0)
+        if forced_subs.any():
+            forced_pairs = forced_subs[workload.pair_subscribers()]
+            forced_topics = np.unique(flat[forced_pairs])
+            total_rate += float(rates[forced_topics].sum())
 
     return total_rate * workload.message_size_bytes
 

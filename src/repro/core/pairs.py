@@ -29,7 +29,10 @@ Fast paths supporting the vectorized Stage-1/Stage-2/validation code:
   ``(topics, indptr, subscribers)`` triple;
 * :meth:`PairSelection.pair_arrays` exposes the selection as two flat
   parallel arrays ``(topics, subscribers)``, the form the vectorized
-  satisfaction reductions consume.
+  satisfaction reductions consume;
+* :meth:`PairSelection.from_pair_arrays` adopts such flat parallel
+  arrays back into a grouped selection (one stable argsort) -- the
+  export path of the dynamic reprovisioner's array state.
 """
 
 from __future__ import annotations
@@ -135,6 +138,31 @@ class PairSelection:
             [int(t) for t in by_topic], list(by_topic.values())
         )
         return self
+
+    @classmethod
+    def from_pair_arrays(
+        cls, topics: np.ndarray, subscribers: np.ndarray
+    ) -> "PairSelection":
+        """Adopt flat parallel pair arrays (trusted: no duplicate pairs).
+
+        The inverse of :meth:`pair_arrays`: one stable small-key argsort
+        groups the pairs by ascending topic id, preserving the input
+        order of subscribers inside each group.  The caller vouches
+        that no ``(t, v)`` pair appears twice.  This is the export path
+        of array-state holders (e.g. the dynamic reprovisioner, whose
+        per-epoch state is exactly these flat arrays).
+        """
+        t = np.asarray(topics, dtype=np.int64)
+        v = np.asarray(subscribers, dtype=np.int64)
+        if t.size != v.size:
+            raise ValueError("topics and subscribers must be parallel arrays")
+        if t.size == 0:
+            return cls({})
+        order = np.argsort(t, kind="stable")
+        s_t = t[order]
+        starts = np.flatnonzero(np.concatenate(([True], s_t[1:] != s_t[:-1])))
+        indptr = np.append(starts, s_t.size).astype(np.int64)
+        return cls.from_csr(s_t[starts], indptr, v[order])
 
     @classmethod
     def from_pairs(cls, pairs: Iterable[Pair]) -> "PairSelection":

@@ -29,6 +29,12 @@ packers never loop over VMs in Python:
 * :meth:`Placement.assign_range` -- batch assignment of a flat
   subscriber array slice: O(1) accounting plus one adopted array
   chunk, instead of per-subscriber list work;
+* :meth:`Placement.remove_range` / :meth:`Placement.remove_topic` --
+  the removal/eviction mirrors of ``assign_range``, for tooling that
+  mutates a live placement under churn;
+* :meth:`Placement.from_pair_arrays` -- batch-materialize a whole
+  placement from flat per-pair ``(vm, topic, subscriber)`` arrays
+  (one lexsort, one ``assign_range`` per group);
 * :meth:`Placement.new_vms` -- deploy a batch of VMs at once.
 
 Per-(vm, topic) subscriber identities are retained as lists of array
@@ -162,6 +168,28 @@ class VirtualMachine:
         if new_topic:
             self._in_bytes += topic_bytes
 
+    def remove_pairs(self, topic: int, topic_bytes: float, count: int) -> None:
+        """Remove ``count`` pairs of ``topic`` from this VM.
+
+        The accounting mirror of :meth:`add_pairs`: the outgoing rate
+        drops by ``count`` copies, and when the last pair of the topic
+        leaves, the VM stops ingesting it (one incoming copy freed).
+        """
+        if count <= 0:
+            raise ValueError("count must be positive")
+        have = self._pair_counts.get(topic, 0)
+        if count > have:
+            raise ValueError(
+                f"cannot remove {count} pairs of topic {topic}: only {have} here"
+            )
+        left = have - count
+        self._out_bytes -= topic_bytes * count
+        if left:
+            self._pair_counts[topic] = left
+        else:
+            del self._pair_counts[topic]
+            self._in_bytes -= topic_bytes
+
     def __repr__(self) -> str:  # pragma: no cover - cosmetic
         return (
             f"VirtualMachine(used={self.used_bytes:.0f}/"
@@ -197,6 +225,59 @@ class Placement:
         self._flat_cache: Optional[Tuple[int, Tuple[np.ndarray, ...]]] = None
 
     # -- construction ----------------------------------------------------
+    @classmethod
+    def from_pair_arrays(
+        cls,
+        workload: Workload,
+        capacity_bytes: float,
+        vm_ids: np.ndarray,
+        topics: np.ndarray,
+        subscribers: np.ndarray,
+        num_vms: Optional[int] = None,
+    ) -> "Placement":
+        """Build a placement from flat per-pair arrays in one batch pass.
+
+        ``vm_ids``, ``topics`` and ``subscribers`` are parallel arrays,
+        one row per assigned pair; VM indices must be dense in
+        ``[0, num_vms)`` (``num_vms`` defaults to ``max(vm_ids) + 1``).
+        One ``np.lexsort`` groups the pairs by ``(vm, topic)``; each
+        group becomes a single :meth:`assign_range` whose subscriber
+        slice is adopted zero-copy, so the cost is O(pairs log pairs)
+        regardless of how many pairs each group holds.  The sort is
+        stable: subscribers keep their input order inside each group.
+
+        This is the batch materialization path of the dynamic
+        reprovisioner (its per-epoch state is exactly these arrays).
+        """
+        vm = np.ascontiguousarray(vm_ids, dtype=np.int64)
+        t = np.ascontiguousarray(topics, dtype=np.int64)
+        v = np.ascontiguousarray(subscribers, dtype=np.int64)
+        if not (vm.size == t.size == v.size):
+            raise ValueError("vm_ids, topics and subscribers must be parallel")
+        placement = cls(workload, capacity_bytes)
+        count = int(num_vms) if num_vms is not None else (
+            int(vm.max()) + 1 if vm.size else 0
+        )
+        if vm.size and (int(vm.min()) < 0 or int(vm.max()) >= count):
+            raise ValueError(
+                f"vm_ids must lie in [0, {count}); got "
+                f"[{int(vm.min())}, {int(vm.max())}]"
+            )
+        if count:
+            placement.new_vms(count)
+        if vm.size == 0:
+            return placement
+        order = np.lexsort((t, vm))
+        s_vm, s_t, s_v = vm[order], t[order], v[order]
+        s_v.setflags(write=False)
+        key = s_vm * np.int64(int(s_t.max()) + 1) + s_t
+        starts = np.flatnonzero(np.concatenate(([True], key[1:] != key[:-1])))
+        ends = np.append(starts[1:], s_vm.size)
+        for g in range(starts.size):
+            lo = int(starts[g])
+            placement.assign_range(int(s_vm[lo]), int(s_t[lo]), s_v[lo:int(ends[g])])
+        return placement
+
     def new_vm(self) -> int:
         """Deploy a new empty VM; returns its index."""
         return self.new_vms(1)
@@ -250,6 +331,79 @@ class Placement:
         self._members.setdefault((vm_index, topic), []).append(subs)
         self._num_pairs += int(subs.size)
         self._mutations += 1
+
+    def remove_range(
+        self, vm_index: int, topic: int, subscribers: np.ndarray
+    ) -> None:
+        """Batch-remove pairs ``(topic, v) for v in subscribers`` from a VM.
+
+        The removal mirror of :meth:`assign_range`: one membership mask
+        over the group's flattened chunks, one O(1) accounting update.
+        Public surgery primitive for tooling that maintains a *live*
+        placement under churn (the bundled reprovisioner instead keeps
+        flat pair arrays and re-materializes via
+        :meth:`from_pair_arrays`, because its referee renumbers VMs
+        every epoch).  ``subscribers`` must be distinct and all
+        currently assigned to ``(vm_index, topic)`` -- a ``ValueError``
+        means the caller's bookkeeping has diverged from the placement,
+        so it must never pass silently.
+        """
+        subs = np.asarray(subscribers, dtype=np.int64)
+        if subs.size == 0:
+            return
+        topic = int(topic)
+        chunks = self._members.get((vm_index, topic))
+        if not chunks:
+            raise ValueError(
+                f"VM {vm_index} hosts no pairs of topic {topic}"
+            )
+        flat = self._group_members(chunks)
+        keep = ~np.isin(flat, subs)
+        removed = int(flat.size - int(keep.sum()))
+        if removed != subs.size or np.unique(subs).size != subs.size:
+            raise ValueError(
+                f"not all listed subscribers of topic {topic} are assigned "
+                f"to VM {vm_index} (or duplicates were passed)"
+            )
+        vm = self._vms[vm_index]
+        vm.remove_pairs(topic, self.topic_bytes(topic), removed)
+        self._used[vm_index] = vm.used_bytes
+        if removed < flat.size:
+            kept = flat[keep]
+            kept.setflags(write=False)
+            self._members[(vm_index, topic)] = [kept]
+        else:
+            del self._members[(vm_index, topic)]
+            hosting = self._topic_vms[topic]
+            hosting.remove(vm_index)
+            if not hosting:
+                del self._topic_vms[topic]
+        self._num_pairs -= removed
+        self._mutations += 1
+
+    def remove_topic(self, vm_index: int, topic: int) -> np.ndarray:
+        """Evict a whole topic group from a VM; returns its subscribers.
+
+        Batch eviction primitive for live-placement tooling (see
+        :meth:`remove_range`): the VM stops ingesting the topic and the
+        freed pairs can re-enter through :meth:`assign_range` elsewhere.
+        """
+        topic = int(topic)
+        chunks = self._members.get((vm_index, topic))
+        if not chunks:
+            raise ValueError(f"VM {vm_index} hosts no pairs of topic {topic}")
+        members = self._group_members(chunks)
+        vm = self._vms[vm_index]
+        vm.remove_pairs(topic, self.topic_bytes(topic), int(members.size))
+        self._used[vm_index] = vm.used_bytes
+        del self._members[(vm_index, topic)]
+        hosting = self._topic_vms[topic]
+        hosting.remove(vm_index)
+        if not hosting:
+            del self._topic_vms[topic]
+        self._num_pairs -= int(members.size)
+        self._mutations += 1
+        return members
 
     def topic_bytes(self, topic: int) -> float:
         """Byte rate of one copy of a topic's event stream."""

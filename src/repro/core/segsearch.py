@@ -15,7 +15,22 @@ from typing import Callable
 
 import numpy as np
 
-__all__ = ["segmented_left_search"]
+__all__ = ["segmented_left_search", "sorted_member"]
+
+
+def sorted_member(haystack: np.ndarray, needles: np.ndarray) -> np.ndarray:
+    """Boolean membership of ``needles`` in a *sorted* ``haystack``.
+
+    One ``np.searchsorted`` plus a gather -- O(m log n) for m needles.
+    The shared primitive behind the dynamic epoch pipeline's set
+    algebra (old/new selection differences in the reprovisioner, the
+    already-subscribed test in the churn model).
+    """
+    if haystack.size == 0 or needles.size == 0:
+        return np.zeros(needles.size, dtype=bool)
+    pos = np.searchsorted(haystack, needles)
+    pos_clip = np.minimum(pos, haystack.size - 1)
+    return (pos < haystack.size) & (haystack[pos_clip] == needles)
 
 
 def segmented_left_search(

@@ -551,7 +551,13 @@ class Workload:
         Topic ids are preserved; topics that lose their entire audience
         simply keep a zero audience.  Useful for sampling experiments.
         """
-        keep = np.asarray(sorted(set(int(v) for v in subscribers)), dtype=np.int64)
+        # np.unique = sort + dedup in one whole-array pass; the hot
+        # caller (incremental reselection) passes a large index array
+        # every epoch, so avoid the per-element Python set round trip.
+        keep = np.unique(np.asarray(
+            subscribers if isinstance(subscribers, np.ndarray) else list(subscribers),
+            dtype=np.int64,
+        ))
         counts = np.diff(self._indptr)[keep] if keep.size else np.empty(0, np.int64)
         indptr = np.zeros(keep.size + 1, dtype=np.int64)
         np.cumsum(counts, out=indptr[1:])

@@ -1,8 +1,12 @@
 """Dynamic/online reprovisioning (the paper's future work, Section VI)."""
 
 from .autoscaler import AutoscalePolicy, AutoscaleReport, Autoscaler
-from .churn import ChurnConfig, ChurnModel, WorkloadDelta
-from .reprovision import EpochReport, IncrementalReprovisioner
+from .churn import ChurnConfig, ChurnModel, LoopChurnModel, WorkloadDelta
+from .reprovision import (
+    EpochReport,
+    IncrementalReprovisioner,
+    LoopIncrementalReprovisioner,
+)
 
 __all__ = [
     "AutoscalePolicy",
@@ -10,7 +14,9 @@ __all__ = [
     "Autoscaler",
     "ChurnConfig",
     "ChurnModel",
+    "LoopChurnModel",
     "WorkloadDelta",
     "EpochReport",
     "IncrementalReprovisioner",
+    "LoopIncrementalReprovisioner",
 ]

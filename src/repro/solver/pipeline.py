@@ -130,6 +130,28 @@ class MCSSSolver:
         t0 = time.perf_counter()
         selection = self.selector.select(problem)
         t1 = time.perf_counter()
+        return self.solve_with_selection(
+            problem, selection, selection_seconds=t1 - t0
+        )
+
+    def solve_with_selection(
+        self,
+        problem: MCSSProblem,
+        selection: PairSelection,
+        selection_seconds: float = 0.0,
+    ) -> MCSSSolution:
+        """Run Stage 2 (and validation) on a precomputed Stage-1 selection.
+
+        Stage-1 selections depend only on the workload and ``tau`` --
+        never on the packer -- so sweeps over packing variants (the
+        cost-optimization ladder of Figures 2-3, ablation benches) can
+        select once per ``tau`` and pack many times.  The caller is
+        responsible for passing a selection produced for *this* problem
+        (validation will reject an insufficient one).
+        ``selection_seconds`` is recorded in the returned solution so
+        shared-selection sweeps still report a Stage-1 time.
+        """
+        t1 = time.perf_counter()
         placement = self.packer.pack(problem, selection)
         t2 = time.perf_counter()
 
@@ -142,7 +164,7 @@ class MCSSSolver:
             selection=selection,
             placement=placement,
             cost=problem.cost_of(placement),
-            selection_seconds=t1 - t0,
+            selection_seconds=selection_seconds,
             packing_seconds=t2 - t1,
             selector_name=self.selector.name,
             packer_name=self.packer.name,

@@ -6,7 +6,14 @@ import numpy as np
 import pytest
 
 from repro.core import MCSSProblem, validate_placement
-from repro.dynamic import ChurnConfig, ChurnModel, IncrementalReprovisioner
+from repro.dynamic import (
+    ChurnConfig,
+    ChurnModel,
+    IncrementalReprovisioner,
+    LoopChurnModel,
+    LoopIncrementalReprovisioner,
+    WorkloadDelta,
+)
 from repro.workloads import zipf_workload
 from tests.conftest import make_unit_plan
 
@@ -122,3 +129,115 @@ class TestIncrementalReprovisioner:
     def test_invalid_threshold(self, problem):
         with pytest.raises(ValueError):
             IncrementalReprovisioner(problem, rebuild_threshold=0.9)
+
+    def test_invalid_cadence(self, problem):
+        with pytest.raises(ValueError):
+            IncrementalReprovisioner(problem, fresh_solve_every=0)
+
+    def test_selection_matches_placement(self, problem):
+        reprov = IncrementalReprovisioner(problem)
+        model = ChurnModel(problem.workload, seed=12)
+        reprov.step(model.step())
+        assert reprov.selection() == reprov.placement().to_selection()
+
+
+class TestWorkloadDelta:
+    def test_array_and_tuple_views_agree(self, workload):
+        delta = ChurnModel(workload, ChurnConfig(0.1, 0.1, 0.1), seed=21).step()
+        assert delta.subscribed == tuple(
+            zip(delta.subscribed_topics.tolist(), delta.subscribed_subscribers.tolist())
+        )
+        assert delta.unsubscribed == tuple(
+            zip(
+                delta.unsubscribed_topics.tolist(),
+                delta.unsubscribed_subscribers.tolist(),
+            )
+        )
+        assert set(delta.rate_changed_topics) == set(delta.changed_topics.tolist())
+        touched = delta.touched_array()
+        assert np.array_equal(touched, np.unique(touched))
+        assert delta.touched_subscribers == set(touched.tolist())
+
+    def test_from_pairs_roundtrip(self, workload):
+        delta = WorkloadDelta.from_pairs(
+            workload, [(1, 2), (0, 3)], [(2, 4)], [0, 5]
+        )
+        assert delta.subscribed == ((1, 2), (0, 3))
+        assert delta.unsubscribed == ((2, 4),)
+        assert delta.rate_changed_topics == (0, 5)
+        assert delta.touched_subscribers == {2, 3, 4}
+
+    def test_caller_arrays_not_frozen(self, workload):
+        # The delta freezes its own views; caller-owned buffers must
+        # stay writable (no setflags side effects through asarray).
+        topics = np.array([1], dtype=np.int64)
+        subs = np.array([2], dtype=np.int64)
+        empty = np.array([], dtype=np.int64)
+        delta = WorkloadDelta(workload, topics, subs, empty.copy(), empty.copy(), empty.copy())
+        assert not delta.subscribed_topics.flags.writeable
+        topics[0] = 7  # must not raise
+        assert delta.subscribed == ((1, 2),)
+
+    def test_mismatched_arrays_rejected(self, workload):
+        with pytest.raises(ValueError):
+            WorkloadDelta(
+                workload,
+                np.array([1]), np.array([1, 2]),
+                np.array([], dtype=np.int64), np.array([], dtype=np.int64),
+                np.array([], dtype=np.int64),
+            )
+
+
+class TestFreshSolveGating:
+    """The per-epoch fresh solve is cadence/estimate gated by default."""
+
+    def test_fresh_solve_skipped_in_steady_state(self, problem):
+        reprov = IncrementalReprovisioner(problem, fresh_solve_every=8)
+        model = ChurnModel(
+            problem.workload, ChurnConfig(0.02, 0.02, 0.02), seed=31
+        )
+        reports = [reprov.step(model.step()) for _ in range(6)]
+        skipped = [r for r in reports if not r.fresh_solved]
+        assert skipped, "estimate gate never skipped a fresh solve"
+        for r in skipped:
+            assert r.fresh_cost is None
+            assert r.fresh_estimate_usd > 0
+            assert not r.rebuilt
+        # Drift stays within the threshold whether measured or estimated.
+        for r in reports:
+            assert r.drift <= 1.15 + 1e-9
+
+    def test_cadence_forces_fresh_solve(self, problem):
+        reprov = IncrementalReprovisioner(problem, fresh_solve_every=2)
+        model = ChurnModel(
+            problem.workload, ChurnConfig(0.01, 0.01, 0.0), seed=32
+        )
+        reports = [reprov.step(model.step()) for _ in range(4)]
+        # Every second epoch must carry a real fresh solve.
+        assert reports[1].fresh_solved and reports[3].fresh_solved
+        assert reports[1].fresh_cost is not None
+
+    def test_cadence_one_solves_every_epoch(self, problem):
+        reprov = IncrementalReprovisioner(problem, fresh_solve_every=1)
+        model = ChurnModel(problem.workload, seed=33)
+        for _ in range(3):
+            report = reprov.step(model.step())
+            assert report.fresh_solved and report.fresh_cost is not None
+
+
+class TestLoopReferees:
+    """The churn-loop / reprovision-loop referees stay executable specs."""
+
+    def test_loop_churn_smoke(self, workload):
+        model = LoopChurnModel(workload, ChurnConfig(0.05, 0.05, 0.1), seed=41)
+        delta = model.step()
+        assert delta.subscribed or delta.unsubscribed
+        assert delta.workload is model.workload
+
+    def test_loop_reprovisioner_smoke(self, problem):
+        reprov = LoopIncrementalReprovisioner(problem)
+        model = ChurnModel(problem.workload, seed=42)
+        report = reprov.step(model.step())
+        assert report.fresh_solved and report.fresh_cost is not None
+        assert validate_placement(reprov.problem, reprov.placement()).ok
+        assert report.drift <= 1.15 + 1e-6

@@ -2,6 +2,7 @@
 
 from __future__ import annotations
 
+import numpy as np
 import pytest
 
 from repro.core import CapacityError, Placement, VirtualMachine, Workload
@@ -163,3 +164,106 @@ class TestPlacement:
     def test_invalid_capacity(self, tiny_workload):
         with pytest.raises(ValueError):
             Placement(tiny_workload, 0)
+
+
+class TestBatchRemoval:
+    """remove_range / remove_topic: the assign_range mirrors."""
+
+    def _placement(self, tiny_workload):
+        p = Placement(tiny_workload, 200.0)
+        a, b = p.new_vm(), p.new_vm()
+        p.assign(a, 0, [0, 1])
+        p.assign(a, 1, [0])
+        p.assign(b, 1, [1, 2])
+        return p, a, b
+
+    def test_remove_range_partial(self, tiny_workload):
+        p, a, _b = self._placement(tiny_workload)
+        before = p.vm(a).used_bytes
+        p.remove_range(a, 0, np.asarray([1]))
+        assert p.members(a, 0) == [0]
+        assert p.vm(a).pair_count(0) == 1
+        # One outgoing copy of topic 0 (rate 20) freed.
+        assert p.vm(a).used_bytes == pytest.approx(before - 20.0)
+        assert p.hosting_vms(0) == [a]  # still ingesting
+
+    def test_remove_range_empties_group(self, tiny_workload):
+        p, a, b = self._placement(tiny_workload)
+        p.remove_range(a, 1, np.asarray([0]))
+        assert p.members(a, 1) == []
+        assert not p.vm(a).hosts_topic(1)
+        assert p.hosting_vms(1) == [b]
+        assert p.num_pairs == 4
+
+    def test_remove_topic_returns_members(self, tiny_workload):
+        p, _a, b = self._placement(tiny_workload)
+        total_before = p.total_bytes
+        members = p.remove_topic(b, 1)
+        assert sorted(members.tolist()) == [1, 2]
+        assert p.vm(b).used_bytes == 0.0
+        # Two outgoing + one incoming copy of topic 1 (rate 10) freed.
+        assert p.total_bytes == pytest.approx(total_before - 30.0)
+
+    def test_remove_unassigned_raises(self, tiny_workload):
+        p, a, _b = self._placement(tiny_workload)
+        with pytest.raises(ValueError):
+            p.remove_range(a, 0, np.asarray([2]))  # not on this VM
+        with pytest.raises(ValueError):
+            p.remove_range(a, 1, np.asarray([0, 0]))  # duplicates
+        with pytest.raises(ValueError):
+            p.remove_topic(a, 5)  # not hosted
+
+    def test_remove_then_reassign_roundtrip(self, tiny_workload):
+        p, a, b = self._placement(tiny_workload)
+        moved = p.remove_topic(a, 1)
+        p.assign_range(b, 1, moved)
+        assert sorted(p.members(b, 1)) == [0, 1, 2]
+        assert p.num_pairs == 5
+        assert p.hosting_vms(1) == [b]
+
+
+class TestFromPairArrays:
+    def test_matches_incremental_construction(self, tiny_workload):
+        manual = Placement(tiny_workload, 200.0)
+        a, b = manual.new_vm(), manual.new_vm()
+        manual.assign(a, 0, [0, 1])
+        manual.assign(a, 1, [0])
+        manual.assign(b, 1, [1, 2])
+        batch = Placement.from_pair_arrays(
+            tiny_workload,
+            200.0,
+            np.asarray([0, 0, 0, 1, 1]),
+            np.asarray([0, 0, 1, 1, 1]),
+            np.asarray([0, 1, 0, 1, 2]),
+        )
+        assert batch.num_vms == manual.num_vms
+        assert sorted(batch.iter_assignments()) == sorted(manual.iter_assignments())
+        assert batch.total_bytes == pytest.approx(manual.total_bytes)
+
+    def test_empty_and_trailing_vms(self, tiny_workload):
+        empty = Placement.from_pair_arrays(
+            tiny_workload, 100.0,
+            np.empty(0, np.int64), np.empty(0, np.int64), np.empty(0, np.int64),
+        )
+        assert empty.num_vms == 0 and empty.num_pairs == 0
+        padded = Placement.from_pair_arrays(
+            tiny_workload, 100.0,
+            np.asarray([0]), np.asarray([1]), np.asarray([2]), num_vms=3,
+        )
+        assert padded.num_vms == 3
+        assert padded.vm(1).num_pairs == 0
+
+    def test_mismatched_arrays_rejected(self, tiny_workload):
+        with pytest.raises(ValueError):
+            Placement.from_pair_arrays(
+                tiny_workload, 100.0,
+                np.asarray([0]), np.asarray([1, 1]), np.asarray([2]),
+            )
+
+    def test_out_of_range_vm_ids_rejected(self, tiny_workload):
+        with pytest.raises(ValueError, match="vm_ids"):
+            Placement.from_pair_arrays(
+                tiny_workload, 100.0,
+                np.asarray([0, 2]), np.asarray([0, 1]), np.asarray([0, 1]),
+                num_vms=1,
+            )

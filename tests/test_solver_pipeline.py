@@ -87,3 +87,34 @@ class TestSolve:
     def test_summary_mentions_names(self, problem):
         text = MCSSSolver.paper().solve(problem).summary()
         assert "gsp" in text and "cbp" in text
+
+
+class TestSolveWithSelection:
+    """Stage-2-only entry point: reuse one Stage-1 selection across packers."""
+
+    def test_matches_full_solve(self, problem):
+        solver = MCSSSolver.paper()
+        full = solver.solve(problem)
+        shared = GreedySelectPairs().select(problem)
+        reused = solver.solve_with_selection(problem, shared, selection_seconds=0.5)
+        # GSP is deterministic, so packing the shared selection must
+        # reproduce the full solve exactly.
+        assert reused.selection == full.selection
+        assert reused.cost.total_usd == pytest.approx(full.cost.total_usd)
+        assert reused.cost.num_vms == full.cost.num_vms
+        assert reused.selection_seconds == 0.5
+        assert reused.validation.ok
+
+    def test_shared_selection_across_rungs(self, problem):
+        shared = GreedySelectPairs().select(problem)
+        for rung in ("a", "b", "c", "d", "e"):
+            solution = MCSSSolver.ladder(rung).solve_with_selection(problem, shared)
+            assert solution.selection is shared
+            assert solution.placement.num_pairs == shared.num_pairs
+            assert solution.validation.ok
+
+    def test_insufficient_selection_rejected(self, problem):
+        from repro.core import PairSelection
+
+        with pytest.raises(ValueError):
+            MCSSSolver.paper().solve_with_selection(problem, PairSelection({}))

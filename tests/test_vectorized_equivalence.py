@@ -28,7 +28,17 @@ as executable specifications:
   distribution-identical by exchangeability but their per-seed streams
   differ) plus shared structural invariants, and
   ``generate_social_workload`` == ``generate_social_workload_loop``
-  *bit-exactly* on any shared graph (the compaction is deterministic).
+  *bit-exactly* on any shared graph (the compaction is deterministic);
+* ``ChurnModel`` (CSR epoch surgery)  ==  ``LoopChurnModel`` (the
+  retained ``churn-loop`` referee) -- bit-identical deltas and next
+  workloads on shared seeds, epoch after epoch (both resolve the same
+  rng draws against the same canonical pair enumeration);
+* ``IncrementalReprovisioner`` (array state, batched GSP reselect,
+  argmax placement; run with ``fresh_solve_every=1`` to match the
+  referee's every-epoch fresh solve)  ==
+  ``LoopIncrementalReprovisioner`` (the retained ``reprovision-loop``
+  referee) -- *identical epoch placements*, costs, EpochReport move
+  counts and rebuild decisions on shared-seed churn streams.
 
 All generated rates are integer-valued, so every partial sum is
 exactly representable and the equivalence is bit-exact (the documented
@@ -64,6 +74,13 @@ from repro.packing import (
     cheaper_to_distribute,
     cheaper_to_distribute_loop,
     diff_placements,
+)
+from repro.dynamic import (
+    ChurnConfig,
+    ChurnModel,
+    IncrementalReprovisioner,
+    LoopChurnModel,
+    LoopIncrementalReprovisioner,
 )
 from repro.selection import (
     GreedySelectPairs,
@@ -514,6 +531,150 @@ class TestSocialConstructionEquivalence:
                     np.ones(5),
                     lambda f, r: np.full(5, -1),
                 )
+
+
+class TestChurnEquivalence:
+    """Vectorized CSR churn == the churn-loop referee, bit for bit.
+
+    Both models resolve the same rng draw sequence against the same
+    canonical pair enumeration (subscriber-major, topics ascending), so
+    on a shared seed the deltas and the evolved workloads must be
+    identical -- not just distributionally equivalent.
+    """
+
+    @staticmethod
+    def _assert_same_delta(da, db):
+        assert np.array_equal(da.subscribed_topics, db.subscribed_topics)
+        assert np.array_equal(da.subscribed_subscribers, db.subscribed_subscribers)
+        assert np.array_equal(da.unsubscribed_topics, db.unsubscribed_topics)
+        assert np.array_equal(
+            da.unsubscribed_subscribers, db.unsubscribed_subscribers
+        )
+        assert np.array_equal(da.changed_topics, db.changed_topics)
+        assert da.subscribed == db.subscribed  # tuple views agree too
+        assert da.touched_subscribers == db.touched_subscribers
+        wa, wb = da.workload, db.workload
+        assert np.array_equal(wa.event_rates, wb.event_rates)
+        assert np.array_equal(wa.interest_indptr, wb.interest_indptr)
+        assert np.array_equal(wa.interest_topics, wb.interest_topics)
+
+    @pytest.mark.parametrize("seed", range(NUM_RANDOM_WORKLOADS))
+    def test_shared_seed_streams(self, seed):
+        rng = np.random.default_rng(10_000 + seed)
+        workload = edgy_workload(rng)
+        config = ChurnConfig(
+            unsubscribe_fraction=float(rng.choice([0.0, 0.1, 0.4])),
+            subscribe_fraction=float(rng.choice([0.0, 0.1, 0.4])),
+            rate_drift_sigma=float(rng.choice([0.0, 0.1, 0.4])),
+        )
+        fast = ChurnModel(workload, config, seed=seed)
+        loop = LoopChurnModel(workload, config, seed=seed)
+        for _ in range(4):
+            self._assert_same_delta(fast.step(), loop.step())
+
+    def test_no_churn_is_identity_on_both(self, tiny_workload):
+        for model_cls in (ChurnModel, LoopChurnModel):
+            delta = model_cls(tiny_workload, ChurnConfig(0.0, 0.0, 0.0)).step()
+            assert not delta.subscribed and not delta.unsubscribed
+            assert not delta.rate_changed_topics
+            assert delta.workload.num_pairs == tiny_workload.num_pairs
+
+    def test_last_topic_never_dropped(self):
+        w = Workload([3.0, 5.0], [[0], [1], [0, 1]], message_size_bytes=1.0)
+        for model_cls in (ChurnModel, LoopChurnModel):
+            model = model_cls(w, ChurnConfig(0.9, 0.0, 0.0), seed=1)
+            for _ in range(3):
+                evolved = model.step().workload
+                assert int(evolved.interest_sizes().min()) >= 1
+
+
+def churn_problem(workload, rng):
+    """A dynamic-friendly problem: multiple VMs, drift headroom."""
+    max_pair = 2.0 * float(workload.event_rates.max())
+    capacity = max(8.0 * max_pair, float(rng.integers(20, 80)))
+    tau = float(rng.integers(1, 14))
+    return MCSSProblem(workload, tau, make_unit_plan(capacity))
+
+
+class TestReprovisionEquivalence:
+    """Array-state reprovisioner == the reprovision-loop referee.
+
+    With ``fresh_solve_every=1`` the vectorized reprovisioner runs the
+    referee's every-epoch fresh solve and rebuild rule; on shared-seed
+    churn streams the two must then produce identical epoch placements
+    (per-VM assignments and order, via ``diff_placements``), identical
+    costs, and identical EpochReport move counts -- the pinning
+    contract of the tentpole.  Rates are integer-valued throughout, so
+    every byte total is exactly representable and the comparisons are
+    exact.
+    """
+
+    @staticmethod
+    def _assert_same_epoch(vec_report, loop_report, vec, loop, problem_like):
+        assert diff_placements(vec.placement(), loop.placement()) is None
+        for field in (
+            "epoch",
+            "pairs_added",
+            "pairs_removed",
+            "pairs_moved",
+            "vms_opened",
+            "vms_closed",
+            "rebuilt",
+        ):
+            assert getattr(vec_report, field) == getattr(loop_report, field), field
+        assert vec_report.cost.num_vms == loop_report.cost.num_vms
+        assert vec_report.cost.total_usd == pytest.approx(
+            loop_report.cost.total_usd, rel=1e-12
+        )
+        assert vec_report.fresh_cost.total_usd == pytest.approx(
+            loop_report.fresh_cost.total_usd, rel=1e-12
+        )
+        assert vec.selection() == loop.selection()
+
+    @pytest.mark.parametrize("seed", range(NUM_RANDOM_WORKLOADS))
+    def test_shared_churn_streams(self, seed):
+        rng = np.random.default_rng(12_000 + seed)
+        workload = edgy_workload(rng)
+        problem = churn_problem(workload, rng)
+        threshold = float(rng.choice([1.0, 1.05, 1.2]))
+        config = ChurnConfig(
+            unsubscribe_fraction=float(rng.choice([0.05, 0.3])),
+            subscribe_fraction=float(rng.choice([0.05, 0.3])),
+            rate_drift_sigma=float(rng.choice([0.0, 0.15])),
+        )
+        model = ChurnModel(workload, config, seed=seed)
+        vec = IncrementalReprovisioner(
+            problem, rebuild_threshold=threshold, fresh_solve_every=1
+        )
+        loop = LoopIncrementalReprovisioner(problem, rebuild_threshold=threshold)
+        for _ in range(4):
+            delta = model.step()
+            self._assert_same_epoch(
+                vec.step(delta), loop.step(delta), vec, loop, problem
+            )
+            audit = validate_placement(vec.problem, vec.placement())
+            assert audit.ok, str(audit)
+
+    @pytest.mark.parametrize("seed", range(8))
+    def test_bare_workload_steps(self, seed):
+        # A bare Workload (no delta) re-checks every subscriber.
+        rng = np.random.default_rng(13_000 + seed)
+        workload = edgy_workload(rng)
+        problem = churn_problem(workload, rng)
+        model = ChurnModel(workload, ChurnConfig(0.2, 0.2, 0.1), seed=seed)
+        vec = IncrementalReprovisioner(problem, fresh_solve_every=1)
+        loop = LoopIncrementalReprovisioner(problem)
+        for _ in range(3):
+            evolved = model.step().workload
+            self._assert_same_epoch(
+                vec.step(evolved), loop.step(evolved), vec, loop, problem
+            )
+
+    def test_initial_state_matches_referee(self, tiny_problem):
+        vec = IncrementalReprovisioner(tiny_problem)
+        loop = LoopIncrementalReprovisioner(tiny_problem)
+        assert diff_placements(vec.placement(), loop.placement()) is None
+        assert vec.selection() == loop.selection()
 
 
 class TestValidatorEquivalence:
