@@ -24,8 +24,8 @@ def main() -> None:
 
     # 2. A pricing plan: c3.large VMs over the 10-day trace period,
     #    $0.12/GB transfer.  The plan is scaled to the synthetic trace
-    #    size so the fleet lands at a realistic few dozen VMs (see
-    #    DESIGN.md, "Substitutions").
+    #    size so the fleet lands at a realistic few dozen VMs (a
+    #    documented substitution; see docs/ARCHITECTURE.md).
     plan = paper_plan("c3.large").scaled(calibrate_fraction(workload, target_vms=60))
     print(f"plan: {plan.describe()}")
 

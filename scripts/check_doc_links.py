@@ -1,0 +1,71 @@
+#!/usr/bin/env python
+"""Check that relative links in the repo documentation resolve.
+
+Scans ``README.md``, ``ROADMAP.md`` and everything under ``docs/`` for
+Markdown links and images (``[text](target)`` / ``![alt](target)``)
+and fails if a relative target does not exist on disk.  External
+links (``http(s)://``, ``mailto:``) and pure in-page anchors
+(``#section``) are skipped -- this is a rot guard for the files we
+control, not a web crawler.
+
+Usage::
+
+    python scripts/check_doc_links.py
+
+Exit code 0 when every link resolves, 1 otherwise (one line per broken
+link).  The CI ``docs`` job runs this next to the executable examples.
+"""
+
+from __future__ import annotations
+
+import re
+import sys
+from pathlib import Path
+
+REPO = Path(__file__).resolve().parent.parent
+
+#: Markdown link/image: [text](target) -- target captured up to the
+#: closing parenthesis, optional '<...>' wrapping and title stripped.
+_LINK = re.compile(r"!?\[[^\]]*\]\(\s*<?([^)>\s]+)>?(?:\s+\"[^\"]*\")?\s*\)")
+
+#: Schemes (and pseudo-targets) that are not files in this repo.
+_SKIP_PREFIXES = ("http://", "https://", "mailto:", "#")
+
+
+def iter_doc_files() -> "list[Path]":
+    docs = [REPO / "README.md", REPO / "ROADMAP.md"]
+    docs.extend(sorted((REPO / "docs").glob("**/*.md")))
+    return [path for path in docs if path.exists()]
+
+
+def check_file(path: Path) -> "list[str]":
+    broken = []
+    text = path.read_text(encoding="utf-8")
+    for match in _LINK.finditer(text):
+        target = match.group(1)
+        if target.startswith(_SKIP_PREFIXES):
+            continue
+        resolved = (path.parent / target.split("#", 1)[0]).resolve()
+        if not resolved.exists():
+            line = text.count("\n", 0, match.start()) + 1
+            broken.append(
+                f"{path.relative_to(REPO)}:{line}: broken link -> {target}"
+            )
+    return broken
+
+
+def main() -> int:
+    files = iter_doc_files()
+    broken = [problem for path in files for problem in check_file(path)]
+    for problem in broken:
+        print(problem)
+    checked = ", ".join(str(p.relative_to(REPO)) for p in files)
+    if broken:
+        print(f"{len(broken)} broken link(s) across {checked}")
+        return 1
+    print(f"all links resolve ({checked})")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -20,8 +20,8 @@ Quickstart::
     solution = MCSSSolver.paper().solve(problem)
     print(solution.summary())
 
-See DESIGN.md for the full system inventory and EXPERIMENTS.md for the
-paper-vs-measured record.
+See README.md for install/quickstart and docs/ARCHITECTURE.md for the
+full system inventory and the referee policy.
 """
 
 from .bounds import best_lower_bound, lower_bound, lower_bound_bytes, lp_lower_bound

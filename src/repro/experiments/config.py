@@ -15,7 +15,8 @@ fleet size and scales the plan with
 :meth:`~repro.pricing.PricingPlan.scaled`, which shrinks capacity *and*
 VM price together -- preserving the paper's price-per-capacity ratio,
 so VM counts, the VM/bandwidth trade-off, and all relative savings are
-comparable with Figures 2-3 (see DESIGN.md "Substitutions").
+comparable with Figures 2-3 (a documented substitution; see
+docs/ARCHITECTURE.md).
 """
 
 from __future__ import annotations

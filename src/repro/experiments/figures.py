@@ -5,8 +5,8 @@ the library's default (laptop-scale) configuration; every benchmark in
 ``benchmarks/`` and the ``mcss figure`` CLI command route through here,
 so the per-figure parameters live in exactly one place.
 
-The experiment index (figure -> workload, parameters, modules) is
-documented in DESIGN.md; paper-vs-measured numbers in EXPERIMENTS.md.
+The experiment index (figure -> workload, parameters, modules) lives
+here; the paper-to-module map is in docs/ARCHITECTURE.md.
 """
 
 from __future__ import annotations

@@ -23,6 +23,7 @@ from typing import Dict, List, Optional, Sequence, Tuple
 
 from ..bounds import lower_bound
 from ..core import MCSSProblem, Workload
+from ..packing import CBPOptions
 from ..pricing import PricingPlan
 from ..selection import GreedySelectPairs
 from ..solver import MCSSSolver
@@ -115,12 +116,23 @@ def _solvers() -> Dict[str, MCSSSolver]:
     }
 
 
+#: Variants whose Stage 2 is CBP and therefore warm-startable; maps
+#: the variant name to its :meth:`CBPOptions.ladder` rung.
+_CBP_RUNGS: Dict[str, str] = {
+    "(b) +grouping": "b",
+    "(c) +expensive-first": "c",
+    "(d) +free-vm-first": "d",
+    "(e) +cost-decision": "e",
+}
+
+
 def run_cost_ladder(
     workload: Workload,
     plan: PricingPlan,
     taus: Sequence[float],
     trace_name: str = "trace",
     variants: Optional[Sequence[str]] = None,
+    warm_start: bool = True,
 ) -> LadderResult:
     """Run the ladder; ``variants`` may restrict to a subset (tests).
 
@@ -130,6 +142,19 @@ def run_cost_ladder(
     :meth:`~repro.solver.MCSSSolver.solve_with_selection` -- the ladder
     re-packs six ways but never re-selects.  Only the naive baseline
     keeps its own (random) Stage 1.
+
+    With ``warm_start=True`` (the default) Stage 2 is warm-started
+    too: per tau, the first CBP rung whose topic order later rungs
+    share is packed once with a recorded trace, and every later CBP
+    rung is seeded from it through
+    :meth:`~repro.packing.CustomBinPacking.pack_from` -- re-running
+    only the decisions its options change (and falling back to a cold
+    pack at the first genuine divergence), so every cell is bit-exact
+    with the cold ladder.  Rung (b) orders topics by selection order,
+    unlike (c)-(e)'s shared expensive-first order, so (b) neither
+    consumes nor profitably provides a seed; the chain is therefore
+    (c) traced -> (d), (e) seeded.  ``warm_start=False`` packs every
+    rung cold (the toggle keeps that path exercised).
     """
     wanted = set(variants) if variants is not None else set(LADDER_VARIANTS)
     unknown = wanted - set(LADDER_VARIANTS)
@@ -156,6 +181,14 @@ def run_cost_ladder(
         for name in LADDER_VARIANTS
         if name in wanted and name not in ("rsp+ffbp", "lower-bound")
     ]
+    # Per ordering class (expensive_topic_first flag), how many wanted
+    # CBP rungs exist: a rung records a trace only when a later rung of
+    # its class will consume it.
+    wanted_cbp = [name for name in LADDER_VARIANTS if name in wanted and name in _CBP_RUNGS]
+    class_of = {
+        name: CBPOptions.ladder(_CBP_RUNGS[name]).expensive_topic_first
+        for name in wanted_cbp
+    }
     for tau in taus:
         problem = MCSSProblem(workload, tau, plan)
         shared_selection = None
@@ -164,6 +197,7 @@ def run_cost_ladder(
             t0 = time.perf_counter()
             shared_selection = gsp.select(problem)
             selection_seconds = time.perf_counter() - t0
+        handles: Dict[bool, object] = {}
         for name in LADDER_VARIANTS:
             if name not in wanted:
                 continue
@@ -171,6 +205,23 @@ def run_cost_ladder(
                 cost = lower_bound(problem)
             elif name == "rsp+ffbp":
                 cost = solvers[name].solve(problem).cost
+            elif warm_start and name in _CBP_RUNGS:
+                key = class_of[name]
+                handle = handles.get(key)
+                emit = handle is None and any(
+                    class_of[later] == key
+                    for later in wanted_cbp[wanted_cbp.index(name) + 1:]
+                )
+                solution = solvers[name].solve_with_selection(
+                    problem,
+                    shared_selection,
+                    selection_seconds,
+                    warm_start=handle,
+                    emit_warm_start=emit,
+                )
+                if emit and solution.warm_start is not None:
+                    handles[key] = solution.warm_start
+                cost = solution.cost
             else:
                 cost = solvers[name].solve_with_selection(
                     problem, shared_selection, selection_seconds

@@ -11,8 +11,9 @@ on the qualitative properties the paper's claims rest on:
 * no metric moved by more than a configurable relative tolerance.
 
 ``scripts/record_experiments.py`` writes the human-readable
-EXPERIMENTS.md; this store is the machine-readable companion used by
-regression checks.
+paper-vs-measured record (EXPERIMENTS.md, regenerated on demand);
+this store is the machine-readable companion used by regression
+checks.
 """
 
 from __future__ import annotations

@@ -1,0 +1,254 @@
+"""Warm-started Stage-2 packing: reuse one traced CBP pack across rungs.
+
+The cost-optimization ladder (Figures 2-3) packs the *same* Stage-1
+selection four times, once per CBP rung (b)-(e).  The rungs differ only
+in three decision procedures -- topic ordering, spill-target ordering,
+and the Algorithm-7 cost verdict -- so most of a pack's per-topic work
+(the fast-path "fits the current VM" assignments, the fresh-VM
+deployments, the no-taker spills) is literally identical across rungs.
+This module is the bookkeeping that lets :class:`CustomBinPacking`
+prove which prefix of a new pack coincides with a previously traced
+one and *replay* it instead of re-deciding it.
+
+The contract is **bit-exactness**: a warm-started pack must equal the
+cold pack of the same rung, placement for placement (the
+:func:`repro.packing.diff_placements` identity plus cost).  That is
+achieved by construction, never by assumption:
+
+* a traced pack records, per topic position, the *decision kind*
+  (:data:`KIND_FIT` / :data:`KIND_SPILL` / :data:`KIND_MULTI`), the
+  Algorithm-7 verdict where consulted, and the exact mutation events
+  (VM deployments and batch assignments) it performed;
+* a warm pack walks its own topic order against the base trace and
+  **replays** a position only while the decision procedures that ran
+  there are provably option-independent given identical placement
+  state (a FIT position consults no options at all; a SPILL position's
+  "no other VM can take a pair" outcome is the same under first-fit
+  and most-free-first visiting; equal option subsets decide
+  identically on equal state);
+* at the first position where the differing options *could* decide
+  differently, the warm pack runs the real allocation and compares its
+  own mutation events against the base's -- equal events mean the
+  states are still identical and replay resumes; unequal events mean
+  the packs have genuinely diverged, and the remainder runs cold.
+
+The trace also pins the selection identity (the CSR triple it was
+computed over), so a warm start can never be silently applied to a
+different selection.
+
+``Placement.copy()`` enters in the degenerate best case: when *every*
+position is provably replayable (e.g. warm-starting with the same
+options), the warm pack is just a snapshot of the base placement.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, List, Optional
+
+import numpy as np
+
+from ..core import Placement
+
+__all__ = [
+    "EV_NEWVMS",
+    "EV_ASSIGN",
+    "KIND_FIT",
+    "KIND_SPILL",
+    "KIND_MULTI",
+    "PackTrace",
+    "WarmStart",
+]
+
+#: Event stream opcodes (first element of each event tuple).
+EV_NEWVMS = 0  # (EV_NEWVMS, count)
+EV_ASSIGN = 1  # (EV_ASSIGN, vm_index, topic, subscribers_array)
+
+#: Decision kinds, one per topic position of a traced pack.
+KIND_FIT = 0  #: whole group fit the current VM -- option-independent.
+KIND_SPILL = 1  #: group overflowed; no VM other than current took pairs.
+KIND_MULTI = 2  #: spill assigned pairs to at least one non-current VM.
+
+
+@dataclass(frozen=True)
+class PackTrace:
+    """Everything one traced CBP pack decided and did, per topic.
+
+    ``order[i]`` is the selection CSR group packed at position ``i``;
+    ``events[event_ptr[i]:event_ptr[i+1]]`` are the placement
+    mutations that position performed (the preamble before
+    ``event_ptr[0]`` is the initial VM deployment).  ``kinds``,
+    ``distribute`` (the Algorithm-7 verdicts; ``True`` where the
+    verdict was not consulted) and ``current_after`` record the
+    decisions a warm start needs to prove prefix identity.
+    """
+
+    options: Any  # CBPOptions; typed loosely to avoid an import cycle
+    problem: Any  # MCSSProblem the trace was recorded against
+    sel_topics: np.ndarray
+    sel_indptr: np.ndarray
+    sel_flat: np.ndarray
+    order: np.ndarray
+    kinds: np.ndarray
+    distribute: np.ndarray
+    current_after: np.ndarray
+    events: List[tuple] = field(repr=False)
+    event_ptr: np.ndarray = field(repr=False)
+
+    @property
+    def num_positions(self) -> int:
+        """Number of topic groups the traced pack processed."""
+        return int(self.order.size)
+
+    def matches_selection(
+        self, topics: np.ndarray, indptr: np.ndarray, flat: np.ndarray
+    ) -> bool:
+        """Was this trace computed over exactly this CSR selection?
+
+        Identity (``is``) short-circuits the common shared-selection
+        case; otherwise the arrays are compared by content, so an
+        equal selection rebuilt elsewhere still warm-starts.
+        """
+        if (
+            self.sel_topics is topics
+            and self.sel_indptr is indptr
+            and self.sel_flat is flat
+        ):
+            return True
+        return (
+            np.array_equal(self.sel_topics, topics)
+            and np.array_equal(self.sel_indptr, indptr)
+            and np.array_equal(self.sel_flat, flat)
+        )
+
+    def matches_problem(self, problem: Any) -> bool:
+        """Was this trace recorded against (an equivalent of) ``problem``?
+
+        Packing reads the per-topic byte rates, the VM capacity, and
+        (for Algorithm 7) the pricing plan -- never ``tau`` -- so those
+        are what pin replay soundness.  Object identity short-circuits
+        the shared-problem case the ladder runs.
+        """
+        mine = self.problem
+        if mine is problem:
+            return True
+        same_workload = mine.workload is problem.workload or (
+            mine.workload.message_size_bytes == problem.workload.message_size_bytes
+            and np.array_equal(
+                mine.workload.event_rates, problem.workload.event_rates
+            )
+        )
+        return same_workload and (
+            mine.plan is problem.plan or mine.plan == problem.plan
+        )
+
+
+@dataclass(frozen=True)
+class WarmStart:
+    """Handle returned by a traced pack, consumed by ``pack_from``.
+
+    ``placement`` references the traced pack's result (do not mutate it
+    while the handle is live -- the full-replay fast path snapshots it
+    via :meth:`Placement.copy`); ``trace`` is ``None`` for packers that
+    do not support warm starts, in which case ``pack_from`` falls back
+    to a cold pack.
+    """
+
+    placement: Optional[Placement]
+    trace: Optional[PackTrace]
+
+
+def same_event_run(
+    events: List[tuple], start: int, base_events: List[tuple], lo: int, hi: int
+) -> bool:
+    """Do ``events[start:]`` equal ``base_events[lo:hi]`` exactly?
+
+    Subscriber arrays are compared by *count only*, which is sufficient
+    for the warm-start protocol: both runs process the same topic
+    position over the same selection group slice, consuming it as a
+    sequential partition (every assignment takes the next contiguous
+    chunk).  Equal (opcode, vm, count) sequences therefore force the
+    chunks to be the identical slices -- and the interleaved deployment
+    events pin the fleet evolution -- so content equality follows
+    without touching the arrays.
+    """
+    if len(events) - start != hi - lo:
+        return False
+    for ev, base in zip(events[start:], base_events[lo:hi]):
+        if ev[0] != base[0] or ev[1] != base[1]:
+            return False
+        if ev[0] == EV_ASSIGN and ev[3].size != base[3].size:
+            return False
+    return True
+
+
+def classify_events(
+    events: List[tuple], start: int, entry_current: int
+) -> int:
+    """Decision kind of one position, derived from its mutation events.
+
+    Assignments beyond the entry "current" VM *before* any deployment
+    are spill placements onto the existing fleet (:data:`KIND_MULTI`);
+    a deployment without them is :data:`KIND_SPILL`; a bare
+    current-VM assignment (or no mutation at all) is the fast path
+    (:data:`KIND_FIT`).  Assignments after the first deployment target
+    fresh VMs and are option-independent, so they never affect the
+    kind.
+    """
+    n_ev = len(events) - start
+    if n_ev == 0:  # empty group: nothing moved, trivially the fast path
+        return KIND_FIT
+    if n_ev == 1:  # the overwhelmingly common case, decided without a loop
+        ev = events[start]
+        if ev[0] == EV_ASSIGN and ev[1] == entry_current:
+            return KIND_FIT
+        return KIND_SPILL if ev[0] == EV_NEWVMS else KIND_MULTI
+    multi = False
+    for ev in events[start:]:
+        if ev[0] == EV_NEWVMS:
+            return KIND_MULTI if multi else KIND_SPILL
+        if ev[1] != entry_current:
+            multi = True
+    return KIND_MULTI if multi else KIND_FIT
+
+
+def replay_events(
+    placement: Placement, base_events: List[tuple], lo: int, hi: int
+) -> None:
+    """Apply one recorded event run to a live placement.
+
+    Recording (if on) is paused for the duration: replaying callers
+    adopt the base's event tuples wholesale when they keep a log, so
+    logging each mutation again would only duplicate them.
+    """
+    log = placement._event_log
+    placement._event_log = None
+    try:
+        newvms = placement.new_vms
+        assign = placement.assign_range
+        for ev in base_events[lo:hi]:
+            if ev[0] == EV_NEWVMS:
+                newvms(ev[1])
+            else:
+                assign(ev[1], ev[2], ev[3])
+    finally:
+        placement._event_log = log
+
+
+def start_recording(placement: Placement) -> List[tuple]:
+    """Begin logging the placement's mutations; returns the live log.
+
+    Recording is implemented by :class:`Placement` itself (one ``None``
+    check per mutation -- no subclass dispatch on the hot path); the
+    traced packers turn it on for the packing run and off before
+    handing the placement out, so a traced pack's result is
+    indistinguishable from a cold one.
+    """
+    events: List[tuple] = []
+    placement._event_log = events
+    return events
+
+
+def stop_recording(placement: Placement) -> None:
+    """Stop logging the placement's mutations (idempotent)."""
+    placement._event_log = None

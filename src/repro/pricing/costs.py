@@ -92,8 +92,8 @@ class TieredBandwidthCost:
     """Real EC2 data-transfer pricing: marginal price drops with volume.
 
     The paper flattens this to $0.12/GB; we keep the tiered schedule as
-    an ablation (DESIGN.md Section 6) to check that the flattening does
-    not change which algorithm wins.
+    an ablation to check that the flattening does not change which
+    algorithm wins.
 
     ``tiers`` is a sequence of ``(upper_bound_gb, usd_per_gb)`` with the
     last bound ``inf``; e.g. the 2014 schedule::

@@ -3,7 +3,8 @@
 The paper's real traces (Spotify internal, Twitter from a dead link)
 are unavailable; :class:`SpotifyWorkloadGenerator` and
 :class:`TwitterWorkloadGenerator` reproduce their published statistical
-shape at configurable scale (see DESIGN.md, "Substitutions").
+shape at configurable scale (a documented substitution; see
+docs/ARCHITECTURE.md).
 :func:`zipf_workload` / :func:`uniform_workload` are simple parametric
 workloads for tests and ablations.
 """

@@ -69,7 +69,8 @@ class SpotifyConfig:
 
     # Rates: activity-driven playback events, far more homogeneous
     # than Twitter's -- the reason the paper's savings are smaller on
-    # Spotify (see EXPERIMENTS.md for the calibration record).
+    # Spotify (calibration record regenerable via
+    # scripts/record_experiments.py).
     mean_rate: float = 500.0
     rate_sigma: float = 0.6
     active_prob: float = 0.85

@@ -73,7 +73,8 @@ class TwitterConfig:
     suggested_user_prob: float = 0.0008
     suggested_user_boost: float = 40.0
 
-    # Rate model -- Figs. 9 and 10.  Calibrated (see EXPERIMENTS.md) so
+    # Rate model -- Figs. 9 and 10.  Calibrated (record regenerable
+    # via scripts/record_experiments.py) so
     # the cost ladder reproduces the paper's savings shape: ~60-70%
     # over the naive baseline at tau=10 decaying to ~30% at tau=1000.
     base_rate: float = 1.5

@@ -123,6 +123,37 @@ class TestLadder:
         )
         assert set(result.cells) == {"rsp+ffbp", "lower-bound"}
 
+    def test_warm_start_toggle_is_observationally_identical(self, small_trace):
+        # The warm-started ladder (rung (c) traced, (d)/(e) seeded) must
+        # produce exactly the cold ladder's cells for every
+        # deterministic variant; only rsp+ffbp draws its own random
+        # Stage 1 and is excluded.
+        plan = make_plan("c3.large", small_trace.workload, SMALL)
+        deterministic = tuple(v for v in LADDER_VARIANTS if v != "rsp+ffbp")
+        warm = run_cost_ladder(
+            small_trace.workload, plan, taus=(10, 100),
+            variants=deterministic, warm_start=True,
+        )
+        cold = run_cost_ladder(
+            small_trace.workload, plan, taus=(10, 100),
+            variants=deterministic, warm_start=False,
+        )
+        assert warm.cells == cold.cells
+
+    def test_warm_start_subset_without_traced_rung(self, small_trace):
+        # A subset starting mid-ladder still warm-starts: the first
+        # wanted expensive-first rung records the trace for the rest.
+        plan = make_plan("c3.large", small_trace.workload, SMALL)
+        subset = ("(d) +free-vm-first", "(e) +cost-decision")
+        warm = run_cost_ladder(
+            small_trace.workload, plan, taus=(10,), variants=subset,
+        )
+        cold = run_cost_ladder(
+            small_trace.workload, plan, taus=(10,), variants=subset,
+            warm_start=False,
+        )
+        assert warm.cells == cold.cells
+
     def test_unknown_variant_rejected(self, small_trace):
         plan = make_plan("c3.large", small_trace.workload, SMALL)
         with pytest.raises(ValueError):

@@ -267,3 +267,71 @@ class TestFromPairArrays:
                 np.asarray([0, 2]), np.asarray([0, 1]), np.asarray([0, 1]),
                 num_vms=1,
             )
+
+
+class TestCopy:
+    """Placement.copy(): cheap snapshots shared by the warm-start path."""
+
+    def _packed(self, tiny_workload):
+        p = Placement(tiny_workload, 200.0)
+        a, b = p.new_vm(), p.new_vm()
+        p.assign(a, 0, [0, 1])
+        p.assign(a, 1, [0])
+        p.assign(b, 1, [1, 2])
+        return p, a, b
+
+    def test_snapshot_is_identical(self, tiny_workload):
+        p, _a, _b = self._packed(tiny_workload)
+        clone = p.copy()
+        assert clone is not p
+        assert clone.num_vms == p.num_vms
+        assert clone.num_pairs == p.num_pairs
+        assert clone.total_bytes == pytest.approx(p.total_bytes)
+        # Group iteration order (part of the referee pinning contract)
+        # and per-group member lists survive the copy.
+        assert list(clone.iter_assignments()) == list(p.iter_assignments())
+        np.testing.assert_array_equal(
+            clone.used_bytes_array(), p.used_bytes_array()
+        )
+        for topic in (0, 1):
+            assert clone.hosting_vms(topic) == p.hosting_vms(topic)
+
+    def test_mutating_either_side_leaves_the_other(self, tiny_workload):
+        p, a, b = self._packed(tiny_workload)
+        clone = p.copy()
+        clone.assign(b, 0, [2])
+        clone.remove_topic(a, 1)
+        assert p.members(b, 0) == []  # original unchanged
+        assert sorted(p.members(a, 1)) == [0]
+        assert sorted(clone.members(b, 0)) == [2]
+        p.assign_range(a, 0, np.asarray([2]))
+        assert sorted(clone.members(a, 0)) == [0, 1]  # clone unchanged
+        clone.new_vm()
+        assert p.num_vms == 2
+
+    def test_copy_of_empty_placement(self, tiny_workload):
+        p = Placement(tiny_workload, 100.0)
+        clone = p.copy()
+        assert clone.num_vms == 0 and clone.num_pairs == 0
+        clone.new_vm()
+        assert p.num_vms == 0
+
+    def test_copy_does_not_inherit_event_log(self, tiny_workload):
+        from repro.packing.warmstart import start_recording
+
+        p, a, _b = self._packed(tiny_workload)
+        events = start_recording(p)
+        clone = p.copy()
+        clone.assign(a, 0, [2])
+        assert events == []  # the clone never writes the source's log
+
+    def test_vm_copy_is_independent(self):
+        vm = VirtualMachine(100.0)
+        vm.add_pairs(3, 10.0, 2)
+        twin = vm.copy()
+        assert twin.used_bytes == vm.used_bytes
+        assert twin.pair_count(3) == 2
+        twin.add_pairs(3, 10.0, 1)
+        assert vm.pair_count(3) == 2
+        vm.remove_pairs(3, 10.0, 2)
+        assert twin.pair_count(3) == 3

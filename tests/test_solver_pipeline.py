@@ -118,3 +118,40 @@ class TestSolveWithSelection:
 
         with pytest.raises(ValueError):
             MCSSSolver.paper().solve_with_selection(problem, PairSelection({}))
+
+    def test_warm_start_threading(self, problem):
+        # emit_warm_start returns a handle; passing it to another rung
+        # must reproduce that rung's cold solve bit for bit.
+        shared = GreedySelectPairs().select(problem)
+        base = MCSSSolver.ladder("c").solve_with_selection(
+            problem, shared, emit_warm_start=True
+        )
+        assert base.warm_start is not None and base.warm_start.trace is not None
+        for rung in ("d", "e"):
+            solver = MCSSSolver.ladder(rung)
+            cold = solver.solve_with_selection(problem, shared)
+            warm = solver.solve_with_selection(
+                problem, shared, warm_start=base.warm_start
+            )
+            assert warm.warm_start is None  # not asked to emit
+            assert warm.cost.num_vms == cold.cost.num_vms
+            assert warm.cost.total_usd == pytest.approx(cold.cost.total_usd)
+            assert sorted(warm.placement.iter_assignments()) == sorted(
+                cold.placement.iter_assignments()
+            )
+            assert warm.validation.ok
+
+    def test_warm_start_ignored_by_ffbp(self, problem):
+        # Packers without warm-start support accept the kwargs and
+        # pack cold; no handle comes back.
+        shared = GreedySelectPairs().select(problem)
+        base = MCSSSolver.ladder("c").solve_with_selection(
+            problem, shared, emit_warm_start=True
+        )
+        ffbp = MCSSSolver.ladder("a")
+        solution = ffbp.solve_with_selection(
+            problem, shared, warm_start=base.warm_start, emit_warm_start=True
+        )
+        assert solution.warm_start is None
+        cold = ffbp.solve_with_selection(problem, shared)
+        assert solution.cost.total_usd == pytest.approx(cold.cost.total_usd)
