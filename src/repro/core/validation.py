@@ -105,6 +105,7 @@ def validate_placement(problem: MCSSProblem, placement: Placement) -> Validation
         gkeys = np.sort(group_idx * span + (all_subs - low))
         dup_pos = np.flatnonzero(gkeys[1:] == gkeys[:-1])
         if dup_pos.size:
+            # repolint: allow(VL01): message formatting over duplicate-bearing groups (broken placements only)
             for g in np.unique(gkeys[dup_pos] // span).tolist():
                 duplicate_msgs.append(
                     f"VM {vm_arr[g]} lists duplicate subscribers for "
@@ -126,6 +127,7 @@ def validate_placement(problem: MCSSProblem, placement: Placement) -> Validation
         _ABS_TOL, _REL_TOL * np.maximum(recorded, used)
     )
     # Interleave the messages per VM, as the loop referee emits them.
+    # repolint: allow(VL01): verdict-message formatting, O(VMs) -- referee-identical interleave
     for b in range(num_vms):
         if over_mask[b]:
             messages.append(

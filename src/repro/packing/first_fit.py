@@ -71,10 +71,12 @@ class FFBinPacking(PackingAlgorithm):
         placement = problem.empty_placement()
         topic_bytes_all = problem.topic_bytes_array()
 
+        # repolint: allow(VL01): FFBP is the paper's quadratic baseline by design (module docstring)
         for t, v in iter_pairs_subscriber_major(selection):
             topic_bytes = float(topic_bytes_all[t])
             placed = False
             # Lines 3-6: first already-deployed VM with room.
+            # repolint: allow(VL01): per-pair first-fit fleet scan -- the baseline's defining behaviour
             for b in range(placement.num_vms):
                 vm = placement.vm(b)
                 if vm.fits(topic_bytes, 1, not vm.hosts_topic(t)):

@@ -199,6 +199,7 @@ class GreedySelectPairs(SelectionAlgorithm):
         overshoot_lim: List[np.ndarray] = []
 
         first_round = True
+        # repolint: allow(VL01): segmented sweep -- each round is whole-array over all active subscribers
         while pos.size:
             # (1) Next chosen item: first scan position that fits the
             # remaining need.  Everything jumped over is a loop "skip".

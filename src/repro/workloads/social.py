@@ -271,6 +271,7 @@ def build_social_graph(
     # counts, so the final indptr is one cumsum away.
     held = np.bincount(key_owners[no_self], minlength=num_users)
 
+    # repolint: allow(VL01): bounded constant rounds (_TOPUP_ROUNDS); each round is whole-array
     for _round in range(_TOPUP_ROUNDS):
         deficits = counts - held
         short = np.flatnonzero(deficits > 0)

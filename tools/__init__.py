@@ -1,0 +1,8 @@
+"""Repo-local developer tooling (not shipped in the wheel).
+
+``tools.repolint`` is the AST-based invariant checker; run it as
+``python -m tools.repolint`` from the repository root.  The package is
+deliberately excluded from the distribution (``pyproject.toml`` finds
+packages under ``src/`` only) -- it lints the repository, it is not part
+of the library.
+"""

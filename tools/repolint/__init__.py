@@ -1,0 +1,23 @@
+"""repolint -- AST-based invariant checker for this repository.
+
+Turns the repo's correctness conventions (docs/ARCHITECTURE.md's
+referee policy, the vectorization standing constraint, RNG discipline,
+the env-knob registry, doc-link hygiene) into CI-enforced static
+analysis.  Run as ``python -m tools.repolint`` from the repository
+root; see docs/ARCHITECTURE.md ("Static analysis & invariants") for
+the rule table and workflows.
+"""
+
+from .config import Config, default_config  # noqa: F401
+from .engine import Context, Finding, Report, run  # noqa: F401
+from .registry import RULES  # noqa: F401
+
+__all__ = [
+    "Config",
+    "Context",
+    "Finding",
+    "Report",
+    "RULES",
+    "default_config",
+    "run",
+]

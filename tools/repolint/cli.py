@@ -1,0 +1,145 @@
+"""repolint command line.
+
+Usage (from the repository root)::
+
+    python -m tools.repolint                      # full pass, human output
+    python -m tools.repolint --select RF01,DL01   # subset of rules
+    python -m tools.repolint --json report.json   # also write JSON report
+    python -m tools.repolint --list-rules
+    python -m tools.repolint --update-fingerprints
+    python -m tools.repolint --update-baseline
+
+Exit code 0 when every finding is suppressed or baselined, 1 otherwise.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from pathlib import Path
+from typing import List, Optional
+
+from .config import default_config
+from .engine import Context, run, save_baseline
+from .registry import RULES
+
+_POLICY_HEADER = "## The referee policy"
+
+_FALLBACK_REMINDER = (
+    "Referees stay untouched: they are executable specifications the\n"
+    "vectorized paths are pinned against.  A change that needs a referee\n"
+    "edited is a semantic change and must say so.  GENERATOR_VERSION\n"
+    "bumps record stream changes; re-seed seed-pinned fixtures."
+)
+
+
+def _referee_policy_text(config) -> str:
+    """The referee-policy section of docs/ARCHITECTURE.md, verbatim."""
+    path = config.abspath(config.architecture_doc)
+    if not path.exists():
+        return _FALLBACK_REMINDER
+    lines = path.read_text(encoding="utf-8").splitlines()
+    try:
+        start = lines.index(_POLICY_HEADER)
+    except ValueError:
+        return _FALLBACK_REMINDER
+    end = len(lines)
+    for i in range(start + 1, len(lines)):
+        if lines[i].startswith("## "):
+            end = i
+            break
+    return "\n".join(lines[start:end]).rstrip()
+
+
+def main(argv: "Optional[List[str]]" = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m tools.repolint",
+        description="AST-based invariant checker for this repository.",
+    )
+    parser.add_argument(
+        "--select", metavar="RULES",
+        help="comma-separated rule ids to run (default: all)",
+    )
+    parser.add_argument(
+        "--json", metavar="PATH", dest="json_path",
+        help="write the machine-readable report to PATH ('-' for stdout)",
+    )
+    parser.add_argument(
+        "--root", metavar="DIR", help="repository root (default: auto)",
+    )
+    parser.add_argument(
+        "--list-rules", action="store_true", help="list rules and exit",
+    )
+    parser.add_argument(
+        "--update-fingerprints", action="store_true",
+        help="re-pin referee/generator AST fingerprints and print the "
+             "referee policy reminder",
+    )
+    parser.add_argument(
+        "--update-baseline", action="store_true",
+        help="grandfather the current findings into the baseline file "
+             "(each entry then needs a hand-written justification)",
+    )
+    args = parser.parse_args(argv)
+
+    config = default_config(Path(args.root) if args.root else None)
+
+    # Ensure rules are registered before --list-rules / --select checks.
+    from . import rules  # noqa: F401
+
+    if args.list_rules:
+        for r in RULES.values():
+            print(f"{r.id}  {r.title:24s} {r.doc.splitlines()[0] if r.doc else ''}")
+        return 0
+
+    if args.update_fingerprints:
+        from .rules.rf_fingerprints import update_fingerprints
+
+        update_fingerprints(Context(config))
+        print(f"re-pinned fingerprints -> {config.fingerprints_path}")
+        print()
+        print("Reminder (docs/ARCHITECTURE.md):")
+        print()
+        print(_referee_policy_text(config))
+        return 0
+
+    select = (
+        [s.strip() for s in args.select.split(",") if s.strip()]
+        if args.select else None
+    )
+    try:
+        report = run(config, select=select)
+    except ValueError as exc:
+        parser.error(str(exc))
+
+    if args.update_baseline:
+        save_baseline(config, report.findings)
+        print(
+            f"baselined {len(report.findings)} finding(s) -> "
+            f"{config.baseline_path}; fill in every 'justification'"
+        )
+        return 0
+
+    if args.json_path:
+        payload = json.dumps(report.to_json(), indent=2) + "\n"
+        if args.json_path == "-":
+            sys.stdout.write(payload)
+        else:
+            Path(args.json_path).write_text(payload, encoding="utf-8")
+
+    for f in report.findings:
+        loc = f"{f.path}:{f.line}" if f.line else (f.path or "<repo>")
+        print(f"{loc}: {f.rule}: {f.message}")
+    ran = ",".join(report.selected)
+    summary = (
+        f"repolint: {len(report.findings)} finding(s), "
+        f"{len(report.suppressed)} suppressed, "
+        f"{len(report.baselined)} baselined (rules: {ran})"
+    )
+    print(summary)
+    return report.exit_code
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -1,0 +1,337 @@
+"""repolint engine: files, suppressions, baseline, and the run loop.
+
+The engine owns everything rule-independent: walking the scan roots,
+parsing Python sources once and caching the trees, the per-line
+suppression syntax, the grandfathering baseline, and turning rule
+output into a report with a process exit code.
+
+Suppression syntax (per line, reason mandatory)::
+
+    x = slow_loop()  # repolint: allow(VL01): scalar kernel, <=64 VMs
+    # repolint: allow(RN01): module-level demo seed
+    rng = np.random.default_rng(0)
+
+A trailing comment suppresses its own line; a comment alone on a line
+suppresses the next line.  Suppressions that match no finding, name an
+unknown rule, or omit the reason are themselves findings (``SUP01``) --
+a suppression that silently never applies is how lint gates rot.
+"""
+
+from __future__ import annotations
+
+import ast
+import json
+import re
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Dict, Iterable, List, Optional, Tuple
+
+from .config import Config
+from .registry import PARSE_RULE, RULES, SUPPRESSION_RULE
+
+_SUPPRESS_RE = re.compile(
+    r"#\s*repolint:\s*allow\(\s*(?P<rules>[A-Za-z0-9_,\s]*)\)\s*"
+    r"(?::\s*(?P<reason>.*\S))?\s*$"
+)
+_SUPPRESS_MARKER = re.compile(r"#\s*repolint\b")
+
+
+@dataclass(frozen=True)
+class Finding:
+    rule: str
+    path: str  # repo-relative posix path ('' for repo-level findings)
+    line: int  # 1-based; 0 when the finding is file- or repo-level
+    message: str
+
+    @property
+    def key(self) -> str:
+        """Line-number-free identity used for baseline matching."""
+        return f"{self.rule}::{self.path}::{self.message}"
+
+    def to_json(self) -> "Dict[str, object]":
+        return {
+            "rule": self.rule,
+            "path": self.path,
+            "line": self.line,
+            "message": self.message,
+        }
+
+
+@dataclass
+class Suppression:
+    rules: "Tuple[str, ...]"
+    reason: str
+    comment_line: int
+    target_line: int
+    used: bool = False
+
+
+@dataclass
+class SourceFile:
+    path: Path
+    rel: str
+    text: str
+    _tree: "Optional[ast.Module]" = None
+    _parse_error: "Optional[str]" = None
+    _parsed: bool = False
+    suppressions: "List[Suppression]" = field(default_factory=list)
+    malformed: "List[Tuple[int, str]]" = field(default_factory=list)
+
+    @property
+    def lines(self) -> "List[str]":
+        return self.text.splitlines()
+
+    @property
+    def tree(self) -> "Optional[ast.Module]":
+        if not self._parsed:
+            self._parsed = True
+            try:
+                self._tree = ast.parse(self.text)
+            except SyntaxError as exc:  # surfaced as a PARSE finding
+                self._parse_error = f"line {exc.lineno}: {exc.msg}"
+        return self._tree
+
+    @property
+    def parse_error(self) -> "Optional[str]":
+        return self._parse_error
+
+    def suppression_for(self, rule: str, line: int) -> "Optional[Suppression]":
+        for sup in self.suppressions:
+            if sup.target_line == line and rule in sup.rules:
+                return sup
+        return None
+
+
+def _scan_suppressions(sf: SourceFile) -> None:
+    for lineno, line in enumerate(sf.lines, start=1):
+        if "#" not in line or not _SUPPRESS_MARKER.search(line):
+            continue
+        match = _SUPPRESS_RE.search(line)
+        if match is None:
+            sf.malformed.append(
+                (lineno, "malformed repolint comment (expected "
+                         "'# repolint: allow(<RULE>): <reason>')")
+            )
+            continue
+        rules = tuple(
+            r.strip() for r in match.group("rules").split(",") if r.strip()
+        )
+        reason = match.group("reason") or ""
+        if not rules:
+            sf.malformed.append((lineno, "suppression names no rule"))
+            continue
+        if not reason:
+            sf.malformed.append(
+                (lineno, "suppression must carry a reason after ':'")
+            )
+            continue
+        code_before = line[: match.start()].strip()
+        target = lineno if code_before else lineno + 1
+        sf.suppressions.append(
+            Suppression(
+                rules=rules, reason=reason,
+                comment_line=lineno, target_line=target,
+            )
+        )
+
+
+class Context:
+    """What rules see: config plus a cache of parsed sources."""
+
+    def __init__(self, config: Config):
+        self.config = config
+        self._files: "Dict[str, SourceFile]" = {}
+
+    # -- file access ---------------------------------------------------
+    def file(self, rel: str) -> "Optional[SourceFile]":
+        rel = str(rel).replace("\\", "/")
+        if rel not in self._files:
+            path = self.config.root / rel
+            if not path.is_file():
+                return None
+            sf = SourceFile(
+                path=path, rel=rel,
+                text=path.read_text(encoding="utf-8"),
+            )
+            _scan_suppressions(sf)
+            self._files[rel] = sf
+        return self._files[rel]
+
+    def python_files(self) -> "Iterable[SourceFile]":
+        seen = []
+        for root in self.config.scan_roots:
+            base = self.config.root / root
+            if not base.exists():
+                continue
+            for path in sorted(base.rglob("*.py")):
+                if "__pycache__" in path.parts:
+                    continue
+                rel = path.relative_to(self.config.root).as_posix()
+                if rel in self.config.scan_exclude:
+                    continue
+                sf = self.file(rel)
+                if sf is not None:
+                    seen.append(sf)
+        return seen
+
+    # -- shared referee geometry ---------------------------------------
+    def referee_nodes(self, rel: str) -> "List[Tuple[str, ast.AST]]":
+        """Declared referee definitions found in ``rel`` (parsed)."""
+        from .fingerprint import locate  # local to avoid cycle at import
+
+        names = self.config.referees.get(rel, ())
+        sf = self.file(rel)
+        if sf is None or sf.tree is None:
+            return []
+        out = []
+        for name in names:
+            node = locate(sf.tree, name)
+            if node is not None:
+                out.append((name, node))
+        return out
+
+    def referee_spans(self, rel: str) -> "List[Tuple[str, int, int]]":
+        spans = []
+        for name, node in self.referee_nodes(rel):
+            end = getattr(node, "end_lineno", None) or node.lineno
+            spans.append((name, node.lineno, end))
+        return spans
+
+
+@dataclass
+class Report:
+    findings: "List[Finding]"          # actionable (not suppressed/baselined)
+    suppressed: "List[Tuple[Finding, Suppression]]"
+    baselined: "List[Finding]"
+    selected: "List[str]"
+
+    @property
+    def exit_code(self) -> int:
+        return 1 if self.findings else 0
+
+    def to_json(self) -> "Dict[str, object]":
+        return {
+            "tool": "repolint",
+            "selected_rules": self.selected,
+            "counts": {
+                "findings": len(self.findings),
+                "suppressed": len(self.suppressed),
+                "baselined": len(self.baselined),
+            },
+            "findings": [f.to_json() for f in self.findings],
+            "suppressed": [
+                {**f.to_json(), "reason": s.reason}
+                for f, s in self.suppressed
+            ],
+            "baselined": [f.to_json() for f in self.baselined],
+        }
+
+
+def load_baseline(config: Config) -> "List[Dict[str, str]]":
+    path = config.abspath(config.baseline_path)
+    if not path.exists():
+        return []
+    data = json.loads(path.read_text(encoding="utf-8"))
+    return list(data.get("findings", []))
+
+
+def save_baseline(config: Config, findings: "List[Finding]") -> None:
+    path = config.abspath(config.baseline_path)
+    payload = {
+        "_comment": (
+            "Grandfathered repolint findings.  Every entry must carry a "
+            "'justification'; new code must never be added here -- fix "
+            "or suppress inline with a reason instead."
+        ),
+        "findings": [
+            {
+                "rule": f.rule,
+                "path": f.path,
+                "message": f.message,
+                "justification": "TODO: justify or fix",
+            }
+            for f in findings
+        ],
+    }
+    path.parent.mkdir(parents=True, exist_ok=True)
+    path.write_text(
+        json.dumps(payload, indent=2, sort_keys=False) + "\n",
+        encoding="utf-8",
+    )
+
+
+def run(config: Config, select: "Optional[List[str]]" = None) -> Report:
+    # Rule registration happens on import of the rules package.
+    from . import rules  # noqa: F401
+
+    selected = list(RULES) if not select else list(select)
+    unknown = [r for r in selected if r not in RULES]
+    if unknown:
+        raise ValueError(
+            f"unknown rule id(s): {', '.join(unknown)} "
+            f"(known: {', '.join(RULES)})"
+        )
+
+    ctx = Context(config)
+    raw: "List[Finding]" = []
+    for rule_id in selected:
+        raw.extend(RULES[rule_id].check(ctx))
+
+    # PARSE findings for every file a rule touched but could not parse.
+    for rel, sf in sorted(ctx._files.items()):
+        if sf._parsed and sf.parse_error is not None:
+            raw.append(
+                Finding(PARSE_RULE, rel, 0, f"syntax error: {sf.parse_error}")
+            )
+
+    # Apply per-line suppressions.
+    kept: "List[Finding]" = []
+    suppressed: "List[Tuple[Finding, Suppression]]" = []
+    for f in raw:
+        sf = ctx._files.get(f.path)
+        sup = sf.suppression_for(f.rule, f.line) if sf else None
+        if sup is not None and f.rule not in (PARSE_RULE, SUPPRESSION_RULE):
+            sup.used = True
+            suppressed.append((f, sup))
+        else:
+            kept.append(f)
+
+    # Suppression discipline: malformed comments and dead suppressions.
+    for rel, sf in sorted(ctx._files.items()):
+        for lineno, msg in sf.malformed:
+            kept.append(Finding(SUPPRESSION_RULE, rel, lineno, msg))
+        for sup in sf.suppressions:
+            bad = [r for r in sup.rules if r not in RULES]
+            if bad:
+                kept.append(Finding(
+                    SUPPRESSION_RULE, rel, sup.comment_line,
+                    f"suppression names unknown rule(s): {', '.join(bad)}",
+                ))
+                continue
+            relevant = [r for r in sup.rules if r in selected]
+            if relevant and not sup.used:
+                kept.append(Finding(
+                    SUPPRESSION_RULE, rel, sup.comment_line,
+                    "unused suppression for "
+                    f"{', '.join(relevant)} (nothing to allow here)",
+                ))
+
+    # Baseline: grandfathered findings pass, everything else is new.
+    baseline_keys = {
+        f"{e['rule']}::{e['path']}::{e['message']}"
+        for e in load_baseline(config)
+    }
+    final, baselined = [], []
+    for f in kept:
+        if f.key in baseline_keys:
+            baselined.append(f)
+        else:
+            final.append(f)
+
+    order = {rid: i for i, rid in enumerate(
+        list(RULES) + [PARSE_RULE, SUPPRESSION_RULE])}
+    final.sort(key=lambda f: (order.get(f.rule, 99), f.path, f.line))
+    return Report(
+        findings=final, suppressed=suppressed,
+        baselined=baselined, selected=selected,
+    )

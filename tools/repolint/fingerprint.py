@@ -1,0 +1,121 @@
+"""Normalized AST fingerprints.
+
+The referee policy (docs/ARCHITECTURE.md) pins loop referees and seeded
+generators by *behavior-relevant source*: a fingerprint must change when
+the code changes and must NOT change when only docstrings move, nor when
+the interpreter version changes.  ``ast.dump`` is unsuitable for the
+latter -- newer Pythons add fields (``type_params`` on 3.12
+``FunctionDef``, for example) -- so this module serializes the tree
+itself, with a stable, explicit treatment of every field:
+
+- node attributes (line/column offsets) are never serialized;
+- fields that are ``None`` or empty lists are dropped, so a field that
+  does not exist on an older Python serializes identically to one that
+  exists but is empty;
+- ``type_comment`` / ``type_ignores`` / ``type_params`` are ignored
+  outright (comment-level constructs);
+- a leading string-constant expression statement in a ``Module`` /
+  ``FunctionDef`` / ``AsyncFunctionDef`` / ``ClassDef`` body (the
+  docstring) is skipped.
+
+Hashes are ``sha256:<hex>`` over the serialized form.
+"""
+
+from __future__ import annotations
+
+import ast
+import hashlib
+import json
+from pathlib import Path
+from typing import Dict, List, Optional
+
+#: AST fields that never affect runtime semantics.
+_IGNORED_FIELDS = frozenset({"type_comment", "type_ignores", "type_params"})
+
+#: Nodes whose body may start with a docstring.
+_DOC_OWNERS = (ast.Module, ast.FunctionDef, ast.AsyncFunctionDef, ast.ClassDef)
+
+
+def _is_docstring_stmt(stmt: ast.stmt) -> bool:
+    return (
+        isinstance(stmt, ast.Expr)
+        and isinstance(stmt.value, ast.Constant)
+        and isinstance(stmt.value.value, str)
+    )
+
+
+def _serialize(node, parts: "List[str]") -> None:
+    if isinstance(node, ast.AST):
+        parts.append(type(node).__name__)
+        parts.append("(")
+        for name, value in ast.iter_fields(node):
+            if name in _IGNORED_FIELDS:
+                continue
+            if value is None or (isinstance(value, list) and not value):
+                continue
+            if (
+                name == "body"
+                and isinstance(node, _DOC_OWNERS)
+                and isinstance(value, list)
+                and value
+                and _is_docstring_stmt(value[0])
+            ):
+                value = value[1:]
+                if not value:
+                    continue
+            parts.append(name)
+            parts.append("=")
+            _serialize(value, parts)
+            parts.append(",")
+        parts.append(")")
+    elif isinstance(node, list):
+        parts.append("[")
+        for item in node:
+            _serialize(item, parts)
+            parts.append(",")
+        parts.append("]")
+    else:
+        # Constant payloads: repr is stable for the types the parser
+        # produces (str/bytes/int/float/complex/bool/None/Ellipsis).
+        parts.append(f"{type(node).__name__}:{node!r}")
+
+
+def node_fingerprint(node: ast.AST) -> str:
+    parts: "List[str]" = []
+    _serialize(node, parts)
+    digest = hashlib.sha256("".join(parts).encode("utf-8")).hexdigest()
+    return f"sha256:{digest}"
+
+
+def locate(tree: ast.Module, qualname: str) -> Optional[ast.AST]:
+    """Find a (possibly dotted) function/class definition in ``tree``."""
+    scope: ast.AST = tree
+    for part in qualname.split("."):
+        found = None
+        body = getattr(scope, "body", [])
+        for stmt in body:
+            if (
+                isinstance(
+                    stmt, (ast.FunctionDef, ast.AsyncFunctionDef, ast.ClassDef)
+                )
+                and stmt.name == part
+            ):
+                found = stmt
+                break
+        if found is None:
+            return None
+        scope = found
+    return scope if scope is not tree else None
+
+
+def load_fingerprints(path: Path) -> "Optional[Dict]":
+    if not path.exists():
+        return None
+    return json.loads(path.read_text(encoding="utf-8"))
+
+
+def save_fingerprints(path: Path, data: "Dict") -> None:
+    path.parent.mkdir(parents=True, exist_ok=True)
+    path.write_text(
+        json.dumps(data, indent=2, sort_keys=True) + "\n", encoding="utf-8"
+    )

@@ -1,0 +1,58 @@
+"""Rule registry for repolint.
+
+A rule is a plain function ``check(ctx) -> list[Finding]`` registered
+under a stable id (``RF01``, ``VL01``, ...) with the :func:`rule`
+decorator.  Registration order is preserved and used for reporting, so
+rule modules should be imported in id order (``tools.repolint.rules``
+does this).
+
+Two pseudo-rules exist outside this registry and cannot be selected or
+suppressed away:
+
+- ``PARSE`` -- a scanned Python file failed to parse; and
+- ``SUP01`` -- suppression discipline (malformed ``# repolint:``
+  comments, unknown rule ids, suppressions that matched nothing).
+
+They guard the linter's own ground truth: a suppression that silently
+never applies, or a file the AST pass cannot see, would otherwise turn
+the whole tool advisory.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Dict, List
+
+#: Pseudo-rule ids emitted by the engine itself (not selectable).
+PARSE_RULE = "PARSE"
+SUPPRESSION_RULE = "SUP01"
+
+
+@dataclass(frozen=True)
+class Rule:
+    id: str
+    title: str
+    doc: str
+    check: Callable  # check(ctx) -> List[Finding]
+
+
+#: Registered rules, in registration (== reporting) order.
+RULES: "Dict[str, Rule]" = {}
+
+
+def rule(rule_id: str, title: str) -> Callable:
+    """Register ``check(ctx)`` as the implementation of ``rule_id``."""
+
+    def decorator(fn: Callable) -> Callable:
+        if rule_id in RULES:
+            raise ValueError(f"duplicate rule id {rule_id!r}")
+        RULES[rule_id] = Rule(
+            id=rule_id, title=title, doc=(fn.__doc__ or "").strip(), check=fn
+        )
+        return fn
+
+    return decorator
+
+
+def known_rule_ids() -> "List[str]":
+    return list(RULES)

@@ -1,0 +1,56 @@
+"""DL01 doc-links: relative Markdown links must resolve.
+
+The former ``scripts/check_doc_links.py``, folded into repolint so all
+docs checking lives in one tool: scans README.md, ROADMAP.md and
+everything under docs/ for Markdown links/images and fails on relative
+targets that do not exist on disk.  External links (``http(s)://``,
+``mailto:``) and pure in-page anchors are skipped -- a rot guard for
+files we control, not a web crawler.
+"""
+
+from __future__ import annotations
+
+import re
+from pathlib import Path
+from typing import List
+
+from ..engine import Context, Finding
+from ..registry import rule
+
+#: Markdown link/image: [text](target) -- target captured up to the
+#: closing parenthesis, optional '<...>' wrapping and title stripped.
+_LINK = re.compile(r"!?\[[^\]]*\]\(\s*<?([^)>\s]+)>?(?:\s+\"[^\"]*\")?\s*\)")
+
+#: Schemes (and pseudo-targets) that are not files in this repo.
+_SKIP_PREFIXES = ("http://", "https://", "mailto:", "#")
+
+
+def _doc_files(ctx: Context) -> "List[Path]":
+    out: "List[Path]" = []
+    for entry in ctx.config.doc_link_files:
+        path = ctx.config.root / entry
+        if path.is_dir():
+            out.extend(sorted(path.glob("**/*.md")))
+        elif path.exists():
+            out.append(path)
+    return out
+
+
+@rule("DL01", "doc-links")
+def check_dl01(ctx: Context) -> "List[Finding]":
+    """Every relative link in the tracked Markdown files resolves."""
+    findings: "List[Finding]" = []
+    for path in _doc_files(ctx):
+        rel = path.relative_to(ctx.config.root).as_posix()
+        text = path.read_text(encoding="utf-8")
+        for match in _LINK.finditer(text):
+            target = match.group(1)
+            if target.startswith(_SKIP_PREFIXES):
+                continue
+            resolved = (path.parent / target.split("#", 1)[0]).resolve()
+            if not resolved.exists():
+                line = text.count("\n", 0, match.start()) + 1
+                findings.append(Finding(
+                    "DL01", rel, line, f"broken link -> {target}"
+                ))
+    return findings

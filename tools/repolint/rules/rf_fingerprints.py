@@ -1,0 +1,216 @@
+"""RF01 referee-fingerprint and RF02 generator-version.
+
+RF01 codifies referee-policy rule 1 ("referees stay untouched"): every
+loop referee declared in :mod:`tools.repolint.config` has a normalized
+AST hash pinned in ``tools/repolint/fingerprints.json``.  Any drift --
+or a missing/unpinned referee, or a suppression comment *inside* a
+referee body -- is an error.  The pins are refreshed only by the
+explicit ``python -m tools.repolint --update-fingerprints`` workflow,
+which re-prints the policy so the refresh is a conscious act.
+
+RF02 codifies policy rule 4: the seeded generators' fingerprints are
+keyed to the ``GENERATOR_VERSION`` they were pinned at.  Changing a
+generator body while the constant still equals the pinned version fails
+(a silently moved stream would invalidate every seed-pinned fixture);
+bumping the constant requires a fingerprint refresh to re-key the pins.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Dict, List, Optional
+
+from ..engine import Context, Finding
+from ..fingerprint import (
+    load_fingerprints,
+    locate,
+    node_fingerprint,
+    save_fingerprints,
+)
+from ..registry import rule
+
+_REFRESH_HINT = "run 'python -m tools.repolint --update-fingerprints'"
+
+
+def read_generator_version(ctx: Context) -> "Optional[int]":
+    """Read GENERATOR_VERSION from its module via AST (no import)."""
+    sf = ctx.file(ctx.config.generator_version_file)
+    if sf is None or sf.tree is None:
+        return None
+    name = ctx.config.generator_version_name
+    for stmt in sf.tree.body:
+        if isinstance(stmt, ast.Assign):
+            targets = [
+                t.id for t in stmt.targets if isinstance(t, ast.Name)
+            ]
+        elif isinstance(stmt, ast.AnnAssign) and isinstance(
+            stmt.target, ast.Name
+        ):
+            targets = [stmt.target.id]
+        else:
+            continue
+        if name in targets and isinstance(stmt.value, ast.Constant):
+            value = stmt.value.value
+            if isinstance(value, int):
+                return value
+    return None
+
+
+def _hash_entries(
+    ctx: Context, declared: "Dict[str, tuple]", findings: "List[Finding]",
+    rule_id: str,
+) -> "Dict[str, str]":
+    """Hash every declared ``path::qualname``; report missing ones."""
+    hashes: "Dict[str, str]" = {}
+    for rel, names in sorted(declared.items()):
+        sf = ctx.file(rel)
+        if sf is None:
+            findings.append(Finding(
+                rule_id, rel, 0, "declared module is missing from the repo"
+            ))
+            continue
+        if sf.tree is None:
+            continue  # engine emits the PARSE finding
+        for name in names:
+            node = locate(sf.tree, name)
+            if node is None:
+                findings.append(Finding(
+                    rule_id, rel, 0,
+                    f"declared definition `{name}` not found in module",
+                ))
+                continue
+            hashes[f"{rel}::{name}"] = node_fingerprint(node)
+    return hashes
+
+
+def compute_fingerprints(ctx: Context) -> "Dict[str, object]":
+    """Current-tree fingerprint payload (what --update-fingerprints pins)."""
+    sink: "List[Finding]" = []
+    referees = _hash_entries(ctx, ctx.config.referees, sink, "RF01")
+    generators = _hash_entries(ctx, ctx.config.generators, sink, "RF02")
+    version = read_generator_version(ctx)
+    return {
+        "_comment": (
+            "Pinned normalized-AST fingerprints (see docs/ARCHITECTURE.md, "
+            "'The referee policy').  Refresh only via "
+            "'python -m tools.repolint --update-fingerprints'."
+        ),
+        "referees": referees,
+        "generator_version": version,
+        "generators": generators,
+    }
+
+
+def update_fingerprints(ctx: Context) -> None:
+    save_fingerprints(
+        ctx.config.abspath(ctx.config.fingerprints_path),
+        compute_fingerprints(ctx),
+    )
+
+
+@rule("RF01", "referee-fingerprint")
+def check_rf01(ctx: Context) -> "List[Finding]":
+    """Loop referees must match their pinned normalized AST hashes."""
+    findings: "List[Finding]" = []
+    pinned = load_fingerprints(ctx.config.abspath(ctx.config.fingerprints_path))
+    if pinned is None:
+        return [Finding(
+            "RF01", ctx.config.fingerprints_path, 0,
+            f"fingerprints file missing -- {_REFRESH_HINT}",
+        )]
+    pinned_referees: "Dict[str, str]" = dict(pinned.get("referees", {}))
+
+    current = _hash_entries(ctx, ctx.config.referees, findings, "RF01")
+    for key, digest in sorted(current.items()):
+        rel, name = key.split("::", 1)
+        want = pinned_referees.pop(key, None)
+        node = dict(ctx.referee_nodes(rel)).get(name)
+        line = node.lineno if node is not None else 0
+        if want is None:
+            findings.append(Finding(
+                "RF01", rel, line,
+                f"referee `{name}` is not pinned -- {_REFRESH_HINT}",
+            ))
+        elif digest != want:
+            findings.append(Finding(
+                "RF01", rel, line,
+                f"referee `{name}` drifted from its pinned fingerprint; "
+                "referees are executable specs and stay untouched "
+                "(docs/ARCHITECTURE.md, referee policy rule 1)",
+            ))
+    for key in sorted(pinned_referees):
+        findings.append(Finding(
+            "RF01", key.split("::", 1)[0], 0,
+            f"pinned referee `{key.split('::', 1)[1]}` is no longer "
+            f"declared/present -- {_REFRESH_HINT}",
+        ))
+
+    # Suppressions have no business inside an executable spec.
+    for rel in sorted(ctx.config.referees):
+        sf = ctx.file(rel)
+        if sf is None:
+            continue
+        for name, start, end in ctx.referee_spans(rel):
+            for sup in sf.suppressions:
+                if start <= sup.comment_line <= end:
+                    findings.append(Finding(
+                        "RF01", rel, sup.comment_line,
+                        f"suppression comment inside referee `{name}` is "
+                        "forbidden (referees are lint ground truth)",
+                    ))
+    return findings
+
+
+@rule("RF02", "generator-version")
+def check_rf02(ctx: Context) -> "List[Finding]":
+    """Generator bodies may only change together with a version bump."""
+    findings: "List[Finding]" = []
+    pinned = load_fingerprints(ctx.config.abspath(ctx.config.fingerprints_path))
+    if pinned is None:
+        return [Finding(
+            "RF02", ctx.config.fingerprints_path, 0,
+            f"fingerprints file missing -- {_REFRESH_HINT}",
+        )]
+
+    current_version = read_generator_version(ctx)
+    pinned_version = pinned.get("generator_version")
+    if current_version is None:
+        return [Finding(
+            "RF02", ctx.config.generator_version_file, 0,
+            f"could not read {ctx.config.generator_version_name} "
+            "as a literal int assignment",
+        )]
+    if current_version != pinned_version:
+        return [Finding(
+            "RF02", ctx.config.generator_version_file, 0,
+            f"{ctx.config.generator_version_name} is {current_version} but "
+            f"fingerprints are pinned at {pinned_version}; re-key the "
+            f"generator pins: {_REFRESH_HINT} (a bump is an API event -- "
+            "re-seed seed-pinned fixtures, see referee policy rule 4)",
+        )]
+
+    pinned_generators: "Dict[str, str]" = dict(pinned.get("generators", {}))
+    current = _hash_entries(ctx, ctx.config.generators, findings, "RF02")
+    for key, digest in sorted(current.items()):
+        rel, name = key.split("::", 1)
+        want = pinned_generators.pop(key, None)
+        if want is None:
+            findings.append(Finding(
+                "RF02", rel, 0,
+                f"generator `{name}` is not pinned -- {_REFRESH_HINT}",
+            ))
+        elif digest != want:
+            findings.append(Finding(
+                "RF02", rel, 0,
+                f"generator `{name}` body changed without a "
+                f"{ctx.config.generator_version_name} bump (still "
+                f"{current_version}); bump the constant if the seeded "
+                "stream moved, then refresh the pins",
+            ))
+    for key in sorted(pinned_generators):
+        findings.append(Finding(
+            "RF02", key.split("::", 1)[0], 0,
+            f"pinned generator `{key.split('::', 1)[1]}` is no longer "
+            f"declared/present -- {_REFRESH_HINT}",
+        ))
+    return findings

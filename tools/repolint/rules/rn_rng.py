@@ -1,0 +1,161 @@
+"""RN01 rng-discipline.
+
+Two invariants keep the repo's randomness reproducible:
+
+1. **No legacy global-state API, anywhere.**  ``np.random.seed`` /
+   ``np.random.rand`` / ``RandomState`` and friends share one hidden
+   stream across the process -- a single call silently re-orders every
+   seed-pinned draw in the suite.
+2. **Generator construction only at declared seeding seams.**
+   ``np.random.default_rng(...)`` (or direct ``Generator``
+   construction) is allowed only where a seed legitimately enters the
+   system (config.RNG_SEAM_PREFIXES: the seeded generator package, the
+   seeded dynamic models, and entry-point trees).  Library code
+   anywhere else must take an ``rng`` parameter so callers own the
+   stream.
+
+Import-alias resolution is static: ``import numpy as np``,
+``import numpy.random as npr``, ``from numpy import random``,
+``from numpy.random import default_rng, Generator`` are all tracked.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Dict, List, Optional, Set
+
+from ..engine import Context, Finding, SourceFile
+from ..registry import rule
+
+_FACTORIES = ("default_rng", "Generator")
+
+
+def _dotted(node: ast.AST) -> "Optional[str]":
+    if isinstance(node, ast.Name):
+        return node.id
+    if isinstance(node, ast.Attribute):
+        base = _dotted(node.value)
+        return f"{base}.{node.attr}" if base else None
+    return None
+
+
+def _collect_aliases(tree: ast.Module):
+    """Names bound to numpy / numpy.random / their members in this module."""
+    numpy_aliases: "Set[str]" = set()
+    random_aliases: "Set[str]" = set()
+    member_aliases: "Dict[str, str]" = {}  # local name -> numpy.random member
+    for node in ast.walk(tree):
+        if isinstance(node, ast.Import):
+            for alias in node.names:
+                local = alias.asname or alias.name.split(".")[0]
+                if alias.name == "numpy":
+                    numpy_aliases.add(local)
+                elif alias.name == "numpy.random":
+                    if alias.asname:
+                        random_aliases.add(alias.asname)
+                    else:
+                        numpy_aliases.add("numpy")
+        elif isinstance(node, ast.ImportFrom) and node.level == 0:
+            if node.module == "numpy":
+                for alias in node.names:
+                    if alias.name == "random":
+                        random_aliases.add(alias.asname or "random")
+            elif node.module == "numpy.random":
+                for alias in node.names:
+                    member_aliases[alias.asname or alias.name] = alias.name
+    return numpy_aliases, random_aliases, member_aliases
+
+
+def _random_member(
+    dotted: str, numpy_aliases: "Set[str]", random_aliases: "Set[str]"
+) -> "Optional[str]":
+    """If ``dotted`` names ``numpy.random.<member>``, return the member."""
+    parts = dotted.split(".")
+    if len(parts) == 3 and parts[0] in numpy_aliases and parts[1] == "random":
+        return parts[2]
+    if len(parts) == 2 and parts[0] in random_aliases:
+        return parts[1]
+    return None
+
+
+def _in_seams(ctx: Context, rel: str) -> bool:
+    return any(
+        rel == p or (p.endswith("/") and rel.startswith(p))
+        for p in ctx.config.rng_seam_prefixes
+    )
+
+
+def _check_file(ctx: Context, sf: SourceFile) -> "List[Finding]":
+    findings: "List[Finding]" = []
+    tree = sf.tree
+    if tree is None:
+        return findings
+    legacy = set(ctx.config.np_random_legacy)
+    numpy_aliases, random_aliases, member_aliases = _collect_aliases(tree)
+
+    # Legacy members pulled in by name are findings at the import.
+    for node in ast.walk(tree):
+        if (
+            isinstance(node, ast.ImportFrom)
+            and node.level == 0
+            and node.module == "numpy.random"
+        ):
+            for alias in node.names:
+                if alias.name in legacy:
+                    findings.append(Finding(
+                        "RN01", sf.rel, node.lineno,
+                        f"legacy numpy.random.{alias.name} import; use an "
+                        "explicit np.random.Generator instead",
+                    ))
+
+    seam_ok = _in_seams(ctx, sf.rel)
+    for node in ast.walk(tree):
+        if not isinstance(node, (ast.Attribute, ast.Name)):
+            continue
+        dotted = _dotted(node)
+        if dotted is None:
+            continue
+        member = _random_member(dotted, numpy_aliases, random_aliases)
+        if member is None and isinstance(node, ast.Name):
+            member = member_aliases.get(dotted)
+            if member in legacy:
+                # The import statement already carries the finding; a
+                # second one per call site would be noise.
+                member = None
+        if member is None:
+            continue
+        if member in legacy:
+            findings.append(Finding(
+                "RN01", sf.rel, node.lineno,
+                f"legacy global-state call np.random.{member}; draw from "
+                "an explicit np.random.Generator (rng parameter) instead",
+            ))
+        elif member in _FACTORIES and not seam_ok:
+            # Attribute *references* in annotations (np.random.Generator
+            # as a type) are fine; only construction is a seam event.
+            parent_call = getattr(node, "_repolint_called", False)
+            if parent_call:
+                findings.append(Finding(
+                    "RN01", sf.rel, node.lineno,
+                    f"np.random.{member} constructed outside the declared "
+                    "seeding seams; accept an `rng` parameter instead "
+                    "(see docs/ARCHITECTURE.md)",
+                ))
+    return findings
+
+
+@rule("RN01", "rng-discipline")
+def check_rn01(ctx: Context) -> "List[Finding]":
+    """Legacy np.random API banned; Generator construction only at seams."""
+    findings: "List[Finding]" = []
+    for sf in ctx.python_files():
+        tree = sf.tree
+        if tree is None:
+            continue
+        # Mark callee nodes so _check_file can tell construction from a
+        # bare reference (e.g. a type annotation).
+        for node in ast.walk(tree):
+            if isinstance(node, ast.Call):
+                node.func._repolint_called = True  # type: ignore[attr-defined]
+        findings.extend(_check_file(ctx, sf))
+    return findings

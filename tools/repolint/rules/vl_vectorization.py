@@ -1,0 +1,62 @@
+"""VL01 vectorization-lint.
+
+The declared hot-path modules (config.HOT_PATH_MODULES) are whole-array
+NumPy by standing constraint: a Python ``for``/``while`` over
+array-sized state is how a 100x speedup quietly regresses.  VL01 flags
+every loop *statement* in those modules except
+
+- loops inside declared referee definitions (allowlisted by
+  construction -- their slowness is their job), and
+- ``for`` loops whose iterable is a literal tuple/list (bounded by
+  construction, e.g. iterating three named arrays).
+
+Intentional scalar kernels (tiny-fleet paths, inherently sequential
+per-topic packing) carry an inline
+``# repolint: allow(VL01): <reason>`` at the loop header, which keeps
+the justification next to the loop it excuses.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import List
+
+from ..engine import Context, Finding
+from ..registry import rule
+
+
+def _header(sf, node: ast.AST) -> str:
+    try:
+        return sf.lines[node.lineno - 1].strip()
+    except IndexError:
+        return "<loop>"
+
+
+@rule("VL01", "vectorization-lint")
+def check_vl01(ctx: Context) -> "List[Finding]":
+    """No Python loop statements in declared hot-path modules."""
+    findings: "List[Finding]" = []
+    for rel in ctx.config.hot_path_modules:
+        sf = ctx.file(rel)
+        if sf is None or sf.tree is None:
+            continue
+        skip = set()
+        for _name, node in ctx.referee_nodes(rel):
+            for sub in ast.walk(node):
+                skip.add(id(sub))
+        for node in ast.walk(sf.tree):
+            if id(node) in skip:
+                continue
+            if isinstance(node, (ast.For, ast.AsyncFor)):
+                if isinstance(node.iter, (ast.Tuple, ast.List)):
+                    continue  # literal iterable: bounded by construction
+            elif not isinstance(node, ast.While):
+                continue
+            kind = "while" if isinstance(node, ast.While) else "for"
+            findings.append(Finding(
+                "VL01", rel, node.lineno,
+                f"python `{kind}` loop in hot-path module: "
+                f"`{_header(sf, node)}` -- vectorize, or justify with "
+                "`# repolint: allow(VL01): <reason>`",
+            ))
+    return findings
