@@ -5,6 +5,7 @@ else in the library (selection, packing, bounds, exact solver,
 simulation) is written against these types.
 """
 
+from .backend import AdoptBackend, ArrayBackend, MmapBackend, RamBackend
 from .pairs import PairSelection
 from .placement import CapacityError, Placement, VirtualMachine
 from .problem import MCSSProblem, SolutionCost
@@ -26,6 +27,10 @@ from .validation import ValidationReport, validate_placement, validate_placement
 from .workload import Pair, Workload, WorkloadStats, build_workload
 
 __all__ = [
+    "AdoptBackend",
+    "ArrayBackend",
+    "MmapBackend",
+    "RamBackend",
     "PairSelection",
     "CapacityError",
     "Placement",

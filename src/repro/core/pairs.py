@@ -19,31 +19,55 @@ The classic ``topic -> subscriber array`` mapping API
 (:meth:`subscribers_of`, :attr:`topics`, iteration) is served as lazy
 zero-copy views into the flat arrays.
 
-Fast paths supporting the vectorized Stage-1/Stage-2/validation code:
+Array construction has one coherent surface:
 
-* :meth:`PairSelection.from_csr` adopts pre-validated CSR arrays
-  without checks or copies (the vectorized GSP emits this directly);
-* :meth:`PairSelection.from_trusted_arrays` adopts pre-validated
-  per-topic subscriber arrays (one concatenate, no ``np.unique``);
-* :meth:`PairSelection.csr_arrays` exposes the native
-  ``(topics, indptr, subscribers)`` triple;
-* :meth:`PairSelection.pair_arrays` exposes the selection as two flat
-  parallel arrays ``(topics, subscribers)``, the form the vectorized
-  satisfaction reductions consume;
-* :meth:`PairSelection.from_pair_arrays` adopts such flat parallel
-  arrays back into a grouped selection (one stable argsort) -- the
-  export path of the dynamic reprovisioner's array state.
+* :meth:`PairSelection.from_csr` builds from the native
+  ``(topics, indptr, subscribers)`` triple -- or, with ``indptr=None``,
+  from flat parallel per-pair ``(topics, subscribers)`` arrays (one
+  stable argsort groups them by ascending topic id; the export path of
+  the dynamic reprovisioner's array state).  ``trusted=True`` adopts
+  the arrays without checks or copies -- the fast path the vectorized
+  GSP emits; the default re-validates the CSR contract with whole-array
+  passes.
+* ``PairSelection(by_topic, trusted=True)`` likewise adopts
+  pre-validated per-topic subscriber arrays (one concatenate, no
+  per-topic ``np.unique``).
+* :meth:`PairSelection.csr_arrays` / :meth:`PairSelection.pair_arrays`
+  expose the grouped and the flat forms back.
+
+The arrays may live on any storage backend (read-only RAM arrays or
+``np.memmap`` views -- see :mod:`repro.core.backend`); the class only
+ever slices them, so an mmap-backed selection is consumed lazily by
+Stage 2 without materializing the pair data in RAM.
+
+The retired constructor names ``from_trusted_arrays`` and
+``from_pair_arrays`` remain as thin shims that emit one
+``DeprecationWarning`` per process and forward to the surface above.
 """
 
 from __future__ import annotations
 
-from typing import Dict, Iterable, Iterator, List, Mapping, Sequence, Tuple
+import warnings
+from typing import Dict, Iterable, Iterator, List, Mapping, Optional, Sequence, Tuple
 
 import numpy as np
 
 from .workload import Pair, Workload
 
 __all__ = ["PairSelection"]
+
+#: Deprecation shims that have already warned this process (warn once).
+_WARNED_SHIMS: set = set()
+
+
+def _warn_deprecated(old: str, new: str) -> None:
+    if old not in _WARNED_SHIMS:
+        _WARNED_SHIMS.add(old)
+        warnings.warn(
+            f"PairSelection.{old} is deprecated; use {new}",
+            DeprecationWarning,
+            stacklevel=3,
+        )
 
 _EMPTY = np.empty(0, dtype=np.int64)
 _EMPTY.setflags(write=False)
@@ -54,15 +78,25 @@ class PairSelection:
 
     __slots__ = ("_topics", "_indptr", "_subs", "_topic_pos", "_pair_arrays")
 
-    def __init__(self, by_topic: Mapping[int, Sequence[int]]) -> None:
+    def __init__(
+        self, by_topic: Mapping[int, Sequence[int]], *, trusted: bool = False
+    ) -> None:
+        """Build from a ``topic -> subscribers`` mapping.
+
+        ``trusted=True`` skips the per-topic duplicate check: the
+        caller vouches that every value is a non-empty int64 array with
+        no duplicate subscribers and every key a non-negative topic id
+        (one concatenate builds the CSR core, no ``np.unique``).
+        """
         topics: List[int] = []
         groups: List[np.ndarray] = []
         for t, subs in by_topic.items():
             arr = np.asarray(subs, dtype=np.int64)
-            if arr.size == 0:
-                continue
-            if np.unique(arr).size != arr.size:
-                raise ValueError(f"duplicate subscribers for topic {t}")
+            if not trusted:
+                if arr.size == 0:
+                    continue
+                if np.unique(arr).size != arr.size:
+                    raise ValueError(f"duplicate subscribers for topic {t}")
             topics.append(int(t))
             groups.append(arr)
         self._adopt_groups(topics, groups)
@@ -97,61 +131,73 @@ class PairSelection:
     # ------------------------------------------------------------------
     @classmethod
     def from_csr(
-        cls, topics: np.ndarray, indptr: np.ndarray, subscribers: np.ndarray
+        cls,
+        topics: np.ndarray,
+        indptr: Optional[np.ndarray],
+        subscribers: np.ndarray,
+        *,
+        trusted: bool = False,
     ) -> "PairSelection":
-        """Adopt pre-validated CSR arrays without checks or copies.
+        """Build from arrays -- the one array-construction entry point.
 
-        Contract (the caller vouches for all of it): ``topics`` holds
-        distinct non-negative topic ids, ``indptr`` is a strictly
-        increasing int64 offset array of length ``len(topics) + 1``
-        starting at 0 (no empty groups), and
+        With ``indptr`` given, the arguments are the native CSR triple:
+        ``topics`` holds distinct non-negative topic ids, ``indptr`` is
+        a strictly increasing int64 offset array of length
+        ``len(topics) + 1`` starting at 0 (no empty groups), and
         ``subscribers[indptr[i]:indptr[i+1]]`` holds topic ``i``'s
-        selected subscribers with **no duplicates**.  The arrays are
-        adopted as-is (marked read-only, not copied), so the caller
-        must not mutate them afterwards.  This is the fast path the
-        vectorized GSP selector emits: it derives the groups from a
-        global sort and knows they satisfy the contract by
-        construction.
+        selected subscribers with **no duplicates**.
+
+        With ``indptr=None``, ``topics`` and ``subscribers`` are flat
+        parallel per-pair arrays (the inverse of :meth:`pair_arrays`):
+        one stable small-key argsort groups them by ascending topic id,
+        preserving the input order of subscribers inside each group --
+        the export path of array-state holders such as the dynamic
+        reprovisioner.
+
+        ``trusted=True`` adopts the arrays as-is (marked read-only, not
+        copied; no checks) -- the caller vouches for the contract above,
+        as the vectorized GSP can by construction.  The default
+        re-validates it with whole-array passes and raises
+        ``ValueError`` on violations.
         """
+        if indptr is None:
+            return cls._from_pair_arrays(topics, subscribers, trusted=trusted)
+        t = np.asarray(topics, dtype=np.int64)
+        ip = np.asarray(indptr, dtype=np.int64)
+        v = np.asarray(subscribers, dtype=np.int64)
+        if not trusted:
+            cls._validate_csr(t, ip, v)
         self = cls.__new__(cls)
-        self._adopt_csr(
-            np.asarray(topics, dtype=np.int64),
-            np.asarray(indptr, dtype=np.int64),
-            np.asarray(subscribers, dtype=np.int64),
-        )
+        self._adopt_csr(t, ip, v)
         return self
 
+    @staticmethod
+    def _validate_csr(t: np.ndarray, ip: np.ndarray, v: np.ndarray) -> None:
+        """Whole-array checks of the :meth:`from_csr` contract."""
+        if ip.ndim != 1 or ip.size != t.size + 1 or (t.size and ip[0] != 0):
+            raise ValueError("indptr must have length len(topics) + 1, start at 0")
+        if ip.size == 1 and ip[0] != 0:
+            raise ValueError("indptr of an empty selection must be [0]")
+        if (np.diff(ip) <= 0).any():
+            raise ValueError("indptr must be strictly increasing (no empty groups)")
+        if v.size != int(ip[-1]):
+            raise ValueError("subscribers length must equal indptr[-1]")
+        if t.size and ((t < 0).any() or np.unique(t).size != t.size):
+            raise ValueError("topics must be distinct non-negative ids")
+        if v.size:
+            group_idx = np.repeat(np.arange(t.size, dtype=np.int64), np.diff(ip))
+            order = np.lexsort((v, group_idx))
+            sv, sg = v[order], group_idx[order]
+            dup = (sv[1:] == sv[:-1]) & (sg[1:] == sg[:-1])
+            if dup.any():
+                g = int(sg[int(np.flatnonzero(dup)[0])])
+                raise ValueError(f"duplicate subscribers for topic {int(t[g])}")
+
     @classmethod
-    def from_trusted_arrays(
-        cls, by_topic: Mapping[int, np.ndarray]
+    def _from_pair_arrays(
+        cls, topics: np.ndarray, subscribers: np.ndarray, *, trusted: bool
     ) -> "PairSelection":
-        """Adopt pre-validated per-topic subscriber arrays without checks.
-
-        Contract (the caller vouches for all of it): every value is a
-        non-empty ``int64`` array with **no duplicate subscribers**, and
-        every key is a non-negative topic id.  Skips the per-topic
-        ``np.unique`` re-validation of ``__init__``; one concatenate
-        builds the CSR core.
-        """
-        self = cls.__new__(cls)
-        self._adopt_groups(
-            [int(t) for t in by_topic], list(by_topic.values())
-        )
-        return self
-
-    @classmethod
-    def from_pair_arrays(
-        cls, topics: np.ndarray, subscribers: np.ndarray
-    ) -> "PairSelection":
-        """Adopt flat parallel pair arrays (trusted: no duplicate pairs).
-
-        The inverse of :meth:`pair_arrays`: one stable small-key argsort
-        groups the pairs by ascending topic id, preserving the input
-        order of subscribers inside each group.  The caller vouches
-        that no ``(t, v)`` pair appears twice.  This is the export path
-        of array-state holders (e.g. the dynamic reprovisioner, whose
-        per-epoch state is exactly these flat arrays).
-        """
+        """The ``indptr=None`` arm of :meth:`from_csr`."""
         t = np.asarray(topics, dtype=np.int64)
         v = np.asarray(subscribers, dtype=np.int64)
         if t.size != v.size:
@@ -162,7 +208,25 @@ class PairSelection:
         s_t = t[order]
         starts = np.flatnonzero(np.concatenate(([True], s_t[1:] != s_t[:-1])))
         indptr = np.append(starts, s_t.size).astype(np.int64)
-        return cls.from_csr(s_t[starts], indptr, v[order])
+        return cls.from_csr(s_t[starts], indptr, v[order], trusted=trusted)
+
+    @classmethod
+    def from_trusted_arrays(
+        cls, by_topic: Mapping[int, np.ndarray]
+    ) -> "PairSelection":
+        """Deprecated: use ``PairSelection(by_topic, trusted=True)``."""
+        _warn_deprecated("from_trusted_arrays", "PairSelection(by_topic, trusted=True)")
+        return cls(by_topic, trusted=True)
+
+    @classmethod
+    def from_pair_arrays(
+        cls, topics: np.ndarray, subscribers: np.ndarray
+    ) -> "PairSelection":
+        """Deprecated: use ``from_csr(topics, None, subscribers, trusted=True)``."""
+        _warn_deprecated(
+            "from_pair_arrays", "from_csr(topics, None, subscribers, trusted=True)"
+        )
+        return cls.from_csr(topics, None, subscribers, trusted=True)
 
     @classmethod
     def from_pairs(cls, pairs: Iterable[Pair]) -> "PairSelection":
@@ -190,9 +254,7 @@ class PairSelection:
             t for t in range(workload.num_topics)
             if workload.subscribers_of(t).size
         ]
-        return cls.from_trusted_arrays(
-            {t: workload.subscribers_of(t) for t in topics}
-        )
+        return cls({t: workload.subscribers_of(t) for t in topics}, trusted=True)
 
     # ------------------------------------------------------------------
     # Views

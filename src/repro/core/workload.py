@@ -57,7 +57,12 @@ from typing import Iterable, Iterator, List, Mapping, Optional, Sequence, Tuple
 
 import numpy as np
 
+from .backend import AdoptBackend, ArrayBackend, RamBackend
+
 __all__ = ["Pair", "Workload", "WorkloadStats", "build_workload"]
+
+_RAM_BACKEND = RamBackend()
+_ADOPT_BACKEND = AdoptBackend()
 
 
 Pair = Tuple[int, int]
@@ -125,6 +130,7 @@ class Workload:
         "_pair_keys",
         "_rate_desc_pairs",
         "_sorted_csr_topics",
+        "_backend",
     )
 
     def __init__(
@@ -165,6 +171,7 @@ class Workload:
         topic_labels: Optional[Sequence[str]] = None,
         subscriber_labels: Optional[Sequence[str]] = None,
         validate: bool = True,
+        backend: Optional[ArrayBackend] = None,
     ) -> "Workload":
         """Build directly from CSR arrays (the fast bulk entry point).
 
@@ -174,6 +181,14 @@ class Workload:
         vouches that every topic id is in range and no subscriber lists
         a topic twice -- the same contract the positional constructor
         enforces.
+
+        ``backend`` picks the storage policy for the arrays (see
+        :mod:`repro.core.backend`): the default
+        :class:`~repro.core.backend.RamBackend` keeps the historical
+        copy-if-not-owned semantics; a
+        :class:`~repro.core.backend.MmapBackend` adopts memory-mapped
+        inputs without densifying them and spills pair-sized derived
+        caches to sidecar files.
         """
         self = cls.__new__(cls)
         ip = np.ascontiguousarray(indptr, dtype=np.int64)
@@ -192,6 +207,7 @@ class Workload:
             topic_labels,
             subscriber_labels,
             validate=validate,
+            backend=backend,
         )
         return self
 
@@ -204,7 +220,9 @@ class Workload:
         topic_labels: Optional[Sequence[str]],
         subscriber_labels: Optional[Sequence[str]],
         validate: bool,
+        backend: Optional[ArrayBackend] = None,
     ) -> None:
+        backend = backend if backend is not None else _RAM_BACKEND
         rates = np.asarray(event_rates, dtype=np.float64)
         if rates.ndim != 1:
             raise WorkloadError("event_rates must be one-dimensional")
@@ -220,13 +238,11 @@ class Workload:
         if validate and flat.size:
             self._validate_csr(num_topics, indptr, flat)
 
-        rates = rates.copy() if not rates.flags.owndata else rates
-        rates.setflags(write=False)
-        flat = flat.copy() if not flat.flags.owndata else flat
-        flat.setflags(write=False)
-        indptr = indptr.copy() if not indptr.flags.owndata else indptr
-        indptr.setflags(write=False)
+        rates = backend.adopt(rates, "event_rates")
+        flat = backend.adopt(flat, "interest_topics")
+        indptr = backend.adopt(indptr, "interest_indptr")
 
+        object.__setattr__(self, "_backend", backend)
         object.__setattr__(self, "_event_rates", rates)
         object.__setattr__(self, "_indptr", indptr)
         object.__setattr__(self, "_flat_topics", flat)
@@ -295,6 +311,11 @@ class Workload:
         return int(self._indptr.size - 1)
 
     @property
+    def backend(self) -> ArrayBackend:
+        """The storage backend holding this workload's arrays."""
+        return self._backend
+
+    @property
     def event_rates(self) -> np.ndarray:
         """Read-only array of per-topic event rates ``ev_t``."""
         return self._event_rates
@@ -360,7 +381,7 @@ class Workload:
                 np.arange(self.num_subscribers, dtype=np.int64),
                 np.diff(self._indptr),
             )
-            cached.setflags(write=False)
+            cached = self._backend.cache("pair_subscribers", cached)
             object.__setattr__(self, "_pair_subscribers", cached)
         return cached
 
@@ -380,8 +401,7 @@ class Workload:
                 keys = np.sort(keys)
             else:
                 keys = np.empty(0, dtype=np.int64)
-            keys.setflags(write=False)
-            cached = keys
+            cached = self._backend.cache("pair_keys", keys)
             object.__setattr__(self, "_pair_keys", cached)
         return cached
 
@@ -396,16 +416,40 @@ class Workload:
         """
         cached = self._sorted_csr_topics
         if cached is None:
-            if self.num_topics:
+            flat = self._flat_topics
+            if self.num_topics == 0:
+                cached = np.empty(0, dtype=np.int64)
+            elif self._flat_is_subscriber_sorted():
+                # Already ascending within every subscriber (true for
+                # every packed-key generator and v2 trace files): the
+                # raw CSR array *is* the sorted view.  Zero-copy --
+                # crucial for mmap-backed workloads, where building the
+                # pair_keys sort would cost pair-sized heap transients.
+                cached = flat
+            else:
                 # pair_keys is sorted by (subscriber, topic); taking the
                 # topic component back out yields the per-subscriber
                 # ascending order in one pass, sharing that cache.
                 cached = self.pair_keys() % np.int64(self.num_topics)
-            else:
-                cached = np.empty(0, dtype=np.int64)
-            cached.setflags(write=False)
+                cached = self._backend.cache("sorted_interest_topics", cached)
             object.__setattr__(self, "_sorted_csr_topics", cached)
         return cached
+
+    def _flat_is_subscriber_sorted(self) -> bool:
+        """Whether ``interest_topics`` is already ascending per subscriber.
+
+        One whole-array neighbor comparison: every descent position
+        must be a segment boundary (topics are distinct within a
+        subscriber, so in-segment order must be strictly ascending).
+        """
+        flat = self._flat_topics
+        if flat.size < 2:
+            return True
+        breaks = np.flatnonzero(flat[1:] <= flat[:-1]) + 1
+        if breaks.size == 0:
+            return True
+        pos = np.searchsorted(self._indptr, breaks)
+        return bool(np.all(self._indptr[np.minimum(pos, self._indptr.size - 1)] == breaks))
 
     def rate_descending_pairs(self) -> Tuple[np.ndarray, np.ndarray, np.ndarray, np.ndarray]:
         """Pairs sorted subscriber-major with rates descending (cached).
@@ -437,9 +481,15 @@ class Workload:
             s_subs = self.pair_subscribers()[order]
             s_rates = rates[s_topics]
             cums = np.cumsum(s_rates)
-            for arr in (s_topics, s_subs, s_rates, cums):
-                arr.setflags(write=False)
-            cached = (s_topics, s_subs, s_rates, cums)
+            cached = tuple(
+                self._backend.cache(f"rate_desc_{tag}", arr)
+                for tag, arr in (
+                    ("topics", s_topics),
+                    ("subscribers", s_subs),
+                    ("rates", s_rates),
+                    ("cumsum", cums),
+                )
+            )
             object.__setattr__(self, "_rate_desc_pairs", cached)
         return cached
 
@@ -558,7 +608,14 @@ class Workload:
             subscribers if isinstance(subscribers, np.ndarray) else list(subscribers),
             dtype=np.int64,
         ))
-        counts = np.diff(self._indptr)[keep] if keep.size else np.empty(0, np.int64)
+        # Subset-sized segment lengths (a full np.diff would allocate a
+        # parent-subscriber-sized temporary -- noticeable when slicing a
+        # few rows out of an mmap-backed multi-million-row workload).
+        counts = (
+            self._indptr[keep + 1] - self._indptr[keep]
+            if keep.size
+            else np.empty(0, np.int64)
+        )
         indptr = np.zeros(keep.size + 1, dtype=np.int64)
         np.cumsum(counts, out=indptr[1:])
         if keep.size and int(indptr[-1]):
@@ -584,8 +641,48 @@ class Workload:
             validate=False,
         )
 
+    def subscriber_range(self, lo: int, hi: int) -> "Workload":
+        """Zero-copy sub-workload over the contiguous subscribers ``[lo, hi)``.
+
+        The shard's subscriber ``v`` is this workload's ``lo + v``;
+        topic ids and event rates are shared unchanged.  The flat
+        interest array is a read-only *view* into this workload's
+        (possibly mmap-backed) array -- taking a shard allocates only
+        the rebased ``hi - lo + 1`` offsets, never the pair data, which
+        is what makes the sharded GSP pipeline
+        (:mod:`repro.selection.sharded`) out-of-core safe.
+        """
+        lo, hi = int(lo), int(hi)
+        if not 0 <= lo <= hi <= self.num_subscribers:
+            raise ValueError(
+                f"invalid subscriber range [{lo}, {hi}) for n={self.num_subscribers}"
+            )
+        offsets = self._indptr[lo : hi + 1]
+        indptr = offsets - offsets[0]
+        flat = self._flat_topics[int(self._indptr[lo]) : int(self._indptr[hi])]
+        labels = (
+            self._subscriber_labels[lo:hi]
+            if self._subscriber_labels is not None
+            else None
+        )
+        return Workload.from_csr(
+            self._event_rates,
+            indptr,
+            flat,
+            message_size_bytes=self._message_size_bytes,
+            topic_labels=self._topic_labels,
+            subscriber_labels=labels,
+            validate=False,
+            backend=_ADOPT_BACKEND,
+        )
+
     def with_message_size(self, message_size_bytes: float) -> "Workload":
-        """Return a copy of the workload with a different message size."""
+        """Return a copy of the workload with a different message size.
+
+        The CSR arrays are shared (adopted read-only, never copied), so
+        this stays cheap -- and non-densifying -- for mmap-backed
+        workloads.
+        """
         return Workload.from_csr(
             self._event_rates,
             self._indptr,
@@ -594,6 +691,7 @@ class Workload:
             topic_labels=self._topic_labels,
             subscriber_labels=self._subscriber_labels,
             validate=False,
+            backend=_ADOPT_BACKEND,
         )
 
     def __repr__(self) -> str:  # pragma: no cover - cosmetic

@@ -202,7 +202,7 @@ class IncrementalReprovisioner:
 
     def selection(self) -> PairSelection:
         """The current Stage-1 state (== the placed pair set)."""
-        return PairSelection.from_pair_arrays(self._p_t, self._p_v)
+        return PairSelection.from_csr(self._p_t, None, self._p_v, trusted=True)
 
     def step(self, new_workload) -> EpochReport:
         """Adapt to a new epoch's workload; returns the epoch report.

@@ -24,6 +24,7 @@ from typing import Dict, List, Optional, Sequence, Tuple
 from ..bounds import lower_bound
 from ..core import MCSSProblem, Workload
 from ..packing import CBPOptions
+from ..parallel import fork_map
 from ..pricing import PricingPlan
 from ..selection import GreedySelectPairs
 from ..solver import MCSSSolver
@@ -126,6 +127,84 @@ _CBP_RUNGS: Dict[str, str] = {
 }
 
 
+def _ladder_tau_cells(
+    args: "Tuple[Workload, PricingPlan, float, frozenset, bool]",
+) -> Dict[str, LadderCell]:
+    """All wanted variants' cells for one tau (one fan-out work item).
+
+    Every tau is fully independent -- its own problem, its own shared
+    GSP selection, its own warm-start chain (handles never crossed taus
+    even in the sequential ladder) -- which is what makes the tau axis
+    the natural process fan-out for Stage 2: CBP itself is sequential,
+    but the ladder's taus never were.  Module-level so
+    :func:`repro.parallel.fork_map` can dispatch it to forked workers.
+    """
+    workload, plan, tau, wanted, warm_start = args
+    solvers = {
+        name: solver for name, solver in _solvers().items() if name in wanted
+    }
+    gsp = GreedySelectPairs()
+    gsp_variants = [
+        name
+        for name in LADDER_VARIANTS
+        if name in wanted and name not in ("rsp+ffbp", "lower-bound")
+    ]
+    # Per ordering class (expensive_topic_first flag), how many wanted
+    # CBP rungs exist: a rung records a trace only when a later rung of
+    # its class will consume it.
+    wanted_cbp = [
+        name for name in LADDER_VARIANTS if name in wanted and name in _CBP_RUNGS
+    ]
+    class_of = {
+        name: CBPOptions.ladder(_CBP_RUNGS[name]).expensive_topic_first
+        for name in wanted_cbp
+    }
+
+    problem = MCSSProblem(workload, tau, plan)
+    shared_selection = None
+    selection_seconds = 0.0
+    if gsp_variants:
+        t0 = time.perf_counter()
+        shared_selection = gsp.select(problem)
+        selection_seconds = time.perf_counter() - t0
+    handles: Dict[bool, object] = {}
+    cells: Dict[str, LadderCell] = {}
+    for name in LADDER_VARIANTS:
+        if name not in wanted:
+            continue
+        if name == "lower-bound":
+            cost = lower_bound(problem)
+        elif name == "rsp+ffbp":
+            cost = solvers[name].solve(problem).cost
+        elif warm_start and name in _CBP_RUNGS:
+            key = class_of[name]
+            handle = handles.get(key)
+            emit = handle is None and any(
+                class_of[later] == key
+                for later in wanted_cbp[wanted_cbp.index(name) + 1:]
+            )
+            solution = solvers[name].solve_with_selection(
+                problem,
+                shared_selection,
+                selection_seconds,
+                warm_start=handle,
+                emit_warm_start=emit,
+            )
+            if emit and solution.warm_start is not None:
+                handles[key] = solution.warm_start
+            cost = solution.cost
+        else:
+            cost = solvers[name].solve_with_selection(
+                problem, shared_selection, selection_seconds
+            ).cost
+        cells[name] = LadderCell(
+            cost_usd=cost.total_usd,
+            num_vms=cost.num_vms,
+            bandwidth_gb=cost.total_gb,
+        )
+    return cells
+
+
 def run_cost_ladder(
     workload: Workload,
     plan: PricingPlan,
@@ -133,6 +212,7 @@ def run_cost_ladder(
     trace_name: str = "trace",
     variants: Optional[Sequence[str]] = None,
     warm_start: bool = True,
+    workers: Optional[int] = None,
 ) -> LadderResult:
     """Run the ladder; ``variants`` may restrict to a subset (tests).
 
@@ -155,8 +235,14 @@ def run_cost_ladder(
     consumes nor profitably provides a seed; the chain is therefore
     (c) traced -> (d), (e) seeded.  ``warm_start=False`` packs every
     rung cold (the toggle keeps that path exercised).
+
+    ``workers > 1`` (default: the ``MCSS_SHARD_WORKERS`` knob) fans the
+    *taus* out across forked worker processes -- each tau's cells are
+    computed by :func:`_ladder_tau_cells` exactly as the sequential
+    ladder computes them, so the result is identical whichever way the
+    work is scheduled.
     """
-    wanted = set(variants) if variants is not None else set(LADDER_VARIANTS)
+    wanted = frozenset(variants) if variants is not None else frozenset(LADDER_VARIANTS)
     unknown = wanted - set(LADDER_VARIANTS)
     if unknown:
         raise ValueError(f"unknown variants: {sorted(unknown)}")
@@ -166,69 +252,18 @@ def run_cost_ladder(
         instance_name=plan.instance.name,
         taus=list(taus),
     )
-    solvers = {
-        name: solver for name, solver in _solvers().items() if name in wanted
-    }
     # Insertion order drives the rendered tables: variant-major, in
     # ladder order, exactly as before the per-tau restructuring.
     for name in LADDER_VARIANTS:
         if name in wanted:
             result.cells[name] = {}
 
-    gsp = GreedySelectPairs()
-    gsp_variants = [
-        name
-        for name in LADDER_VARIANTS
-        if name in wanted and name not in ("rsp+ffbp", "lower-bound")
-    ]
-    # Per ordering class (expensive_topic_first flag), how many wanted
-    # CBP rungs exist: a rung records a trace only when a later rung of
-    # its class will consume it.
-    wanted_cbp = [name for name in LADDER_VARIANTS if name in wanted and name in _CBP_RUNGS]
-    class_of = {
-        name: CBPOptions.ladder(_CBP_RUNGS[name]).expensive_topic_first
-        for name in wanted_cbp
-    }
-    for tau in taus:
-        problem = MCSSProblem(workload, tau, plan)
-        shared_selection = None
-        selection_seconds = 0.0
-        if gsp_variants:
-            t0 = time.perf_counter()
-            shared_selection = gsp.select(problem)
-            selection_seconds = time.perf_counter() - t0
-        handles: Dict[bool, object] = {}
-        for name in LADDER_VARIANTS:
-            if name not in wanted:
-                continue
-            if name == "lower-bound":
-                cost = lower_bound(problem)
-            elif name == "rsp+ffbp":
-                cost = solvers[name].solve(problem).cost
-            elif warm_start and name in _CBP_RUNGS:
-                key = class_of[name]
-                handle = handles.get(key)
-                emit = handle is None and any(
-                    class_of[later] == key
-                    for later in wanted_cbp[wanted_cbp.index(name) + 1:]
-                )
-                solution = solvers[name].solve_with_selection(
-                    problem,
-                    shared_selection,
-                    selection_seconds,
-                    warm_start=handle,
-                    emit_warm_start=emit,
-                )
-                if emit and solution.warm_start is not None:
-                    handles[key] = solution.warm_start
-                cost = solution.cost
-            else:
-                cost = solvers[name].solve_with_selection(
-                    problem, shared_selection, selection_seconds
-                ).cost
-            result.cells[name][tau] = LadderCell(
-                cost_usd=cost.total_usd,
-                num_vms=cost.num_vms,
-                bandwidth_gb=cost.total_gb,
-            )
+    per_tau = fork_map(
+        _ladder_tau_cells,
+        [(workload, plan, tau, wanted, warm_start) for tau in taus],
+        workers,
+    )
+    for tau, cells in zip(taus, per_tau):
+        for name, cell in cells.items():
+            result.cells[name][tau] = cell
     return result

@@ -1,0 +1,98 @@
+"""Process fan-out helpers for the sharded pipeline.
+
+The out-of-core path (:mod:`repro.selection.sharded`,
+:mod:`repro.solver.sharded`, the ladder's tau fan-out) splits work into
+independent pieces and optionally runs them across worker processes.
+:func:`fork_map` is the one primitive they share.  It deliberately uses
+the ``fork`` start method and passes work *by index* through a
+module-level table set before the pool spawns: children inherit the
+parent's address space, so mmap-backed workloads cross the process
+boundary as shared pages -- pickling them (what ``Pool.map`` does to
+its arguments) would densify every ``np.memmap`` into a private copy,
+defeating the point of the mmap backend.  Only the (small) per-piece
+results travel back through pickles.
+
+Whenever ``workers <= 1``, the piece count is 1, or ``fork`` is
+unavailable on the platform, :func:`fork_map` degrades to a plain
+serial loop in-process -- same results, same order, no pool.
+
+Environment knobs (read at call/construction time, documented in
+docs/BENCHMARKS.md): ``MCSS_SHARD_SIZE`` (subscribers per shard,
+default 1,000,000) and ``MCSS_SHARD_WORKERS`` (worker processes,
+default 1 = serial).
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import os
+from typing import Any, Callable, List, Optional, Sequence, Tuple
+
+__all__ = [
+    "default_shard_size",
+    "default_workers",
+    "fork_map",
+    "shard_bounds",
+]
+
+
+def default_shard_size() -> int:
+    """Subscribers per shard (``MCSS_SHARD_SIZE``, default 1,000,000)."""
+    return int(os.environ.get("MCSS_SHARD_SIZE", 1_000_000))
+
+
+def default_workers() -> int:
+    """Worker processes for fan-out (``MCSS_SHARD_WORKERS``, default 1)."""
+    return int(os.environ.get("MCSS_SHARD_WORKERS", 1))
+
+
+def shard_bounds(n: int, shard_size: int) -> List[Tuple[int, int]]:
+    """Contiguous ``[lo, hi)`` ranges covering ``range(n)``.
+
+    Every shard has ``shard_size`` items except possibly the last.
+    ``n == 0`` yields no shards.
+    """
+    if shard_size <= 0:
+        raise ValueError("shard_size must be positive")
+    return [(lo, min(lo + shard_size, n)) for lo in range(0, n, shard_size)]
+
+
+# Work table for forked children: set (in the parent) immediately before
+# the pool spawns, inherited by fork, cleared afterwards.  Keyed access
+# from _invoke_index keeps Pool.map's pickled payload down to plain ints.
+_SHARED: dict = {}
+
+
+def _invoke_index(i: int) -> Any:
+    return _SHARED["fn"](_SHARED["items"][i])
+
+
+def fork_map(
+    fn: Callable[[Any], Any],
+    items: Sequence[Any],
+    workers: Optional[int] = None,
+) -> List[Any]:
+    """``[fn(item) for item in items]``, optionally across forked workers.
+
+    ``fn`` must be a module-level function (children resolve it through
+    the inherited work table, results come back pickled).  Result order
+    matches ``items`` order regardless of worker scheduling, so callers
+    get identical output from the serial and parallel paths.
+    """
+    workers = default_workers() if workers is None else int(workers)
+    items = list(items)
+    use_pool = (
+        workers > 1
+        and len(items) > 1
+        and "fork" in multiprocessing.get_all_start_methods()
+    )
+    if not use_pool:
+        return [fn(item) for item in items]
+    _SHARED["fn"] = fn
+    _SHARED["items"] = items
+    try:
+        ctx = multiprocessing.get_context("fork")
+        with ctx.Pool(processes=min(workers, len(items))) as pool:
+            return pool.map(_invoke_index, range(len(items)))
+    finally:
+        _SHARED.clear()

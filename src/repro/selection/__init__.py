@@ -8,6 +8,9 @@ Algorithms (Section III-A / Appendix A of the paper):
   O(k log k)-per-subscriber loop form, kept as a referee;
 * :class:`ReferenceGreedySelectPairs` (``"gsp-reference"``) -- literal
   Algorithm 2, used as the executable specification in tests;
+* :class:`ShardedGreedySelectPairs` (``"gsp-sharded"``) -- GSP over
+  subscriber shards (optionally forked workers), bit-exact with
+  ``"gsp"``; the out-of-core entry point;
 * :class:`RandomSelectPairs` (``"rsp"``) -- the naive baseline;
 * :class:`KnapsackSelectPairs` (``"knapsack"``) -- per-subscriber
   optimal DP (the "optimal but too costly" option the paper mentions).
@@ -27,6 +30,7 @@ from .greedy import (
 )
 from .knapsack import KnapsackSelectPairs, min_cover_subset
 from .random_ import RandomSelectPairs
+from .sharded import ShardedGreedySelectPairs, merge_shard_groups
 
 __all__ = [
     "SelectionAlgorithm",
@@ -40,4 +44,6 @@ __all__ = [
     "KnapsackSelectPairs",
     "min_cover_subset",
     "RandomSelectPairs",
+    "ShardedGreedySelectPairs",
+    "merge_shard_groups",
 ]

@@ -73,7 +73,7 @@ this on randomized workloads.
 
 from __future__ import annotations
 
-from typing import Dict, List
+from typing import Dict, List, Optional, Tuple
 
 import numpy as np
 
@@ -160,6 +160,31 @@ class GreedySelectPairs(SelectionAlgorithm):
     """Vectorized GSP: whole-array passes over the CSR interests."""
 
     def select(self, problem: MCSSProblem) -> PairSelection:
+        grouped = self.select_grouped(problem)
+        if grouped is None:
+            return PairSelection({})
+        return self._finalize_groups(*grouped)
+
+    def select_grouped(
+        self, problem: MCSSProblem
+    ) -> "Optional[Tuple[np.ndarray, np.ndarray, np.ndarray, np.ndarray]]":
+        """Run the sweep and return the topic groups in ascending-topic order.
+
+        Returns ``None`` for an empty selection, otherwise the 4-tuple
+        ``(group_topics, sizes, first_seen, subscribers)``: the distinct
+        chosen topics ascending, each group's size, the pick-order rank
+        of each group's first appearance, and the flat subscriber array
+        (groups concatenated in ascending-topic order, subscribers
+        ascending inside each group).
+
+        This is the shard-mergeable half of :meth:`select`.  Ranks are
+        (twice) positions in the workload's global scan order, so a
+        subscriber shard's ranks rebase by twice its scan offset and
+        its subscribers by its id offset; rebased shard groups merge
+        exactly (:mod:`repro.selection.sharded`) before
+        :meth:`_finalize_groups` rebuilds the first-appearance group
+        order the loop referees pin down.
+        """
         workload = problem.workload
         rates = workload.event_rates
         tau = float(problem.tau)
@@ -167,7 +192,7 @@ class GreedySelectPairs(SelectionAlgorithm):
         indptr, _ = workload.interest_csr()
         num_pairs = workload.num_pairs
         if num_pairs == 0 or tau <= 0:
-            return PairSelection({})
+            return None
 
         # Global scan order: subscriber-major, rates descending, topic
         # ids ascending inside equal rates (the documented tie-break),
@@ -242,7 +267,7 @@ class GreedySelectPairs(SelectionAlgorithm):
         if overshoot_idx.size:
             chosen[overshoot_idx] = True
 
-        return self._build_selection(chosen, overshoot_idx, s_topics, s_subs, indptr)
+        return self._group_chosen(chosen, overshoot_idx, s_topics, s_subs, indptr)
 
     @staticmethod
     def _chosen_mask(
@@ -317,25 +342,27 @@ class GreedySelectPairs(SelectionAlgorithm):
         )
 
     @staticmethod
-    def _build_selection(
+    def _group_chosen(
         chosen: np.ndarray,
         overshoot_idx: np.ndarray,
         s_topics: np.ndarray,
         s_subs: np.ndarray,
         indptr: np.ndarray,
-    ) -> PairSelection:
-        """Group chosen pairs by topic, replicating the loop's ordering.
+    ) -> "Optional[Tuple[np.ndarray, np.ndarray, np.ndarray, np.ndarray]]":
+        """Group chosen pairs by topic, recording each group's first rank.
 
-        The loop appends each subscriber's picks in sweep order with
-        the overshoot pick last, keying the by-topic dict by first
-        appearance.  Reproducing that order keeps downstream packers
-        (whose iteration order follows the group order) bit-compatible.
-        Emits the selection's native CSR triple directly -- two stable
-        small-key argsorts, no per-topic dictionary of arrays.
+        The loop referees append each subscriber's picks in sweep order
+        with the overshoot pick last, keying the by-topic dict by first
+        appearance.  The rank computed here encodes that sweep order
+        exactly; :meth:`_finalize_groups` turns the per-group minimum
+        rank back into the dict insertion order, keeping downstream
+        packers (whose iteration order follows the group order)
+        bit-compatible.  Two stable small-key argsorts, no per-topic
+        dictionary of arrays.
         """
         chosen_idx = np.flatnonzero(chosen)
         if chosen_idx.size == 0:
-            return PairSelection({})
+            return None
         t_sel = s_topics[chosen_idx]
         v_sel = s_subs[chosen_idx]
 
@@ -361,10 +388,21 @@ class GreedySelectPairs(SelectionAlgorithm):
         group_topics = t_grouped[starts]
         first_seen = np.minimum.reduceat(rank[group_order], starts)
         sizes = np.diff(np.append(starts, t_grouped.size))
+        return group_topics, sizes, first_seen, v_sel[group_order]
 
-        # Reorder whole groups by first appearance: give every pair its
-        # group's destination rank and stable-sort on that small key
-        # (order inside each group is preserved).
+    @staticmethod
+    def _finalize_groups(
+        group_topics: np.ndarray,
+        sizes: np.ndarray,
+        first_seen: np.ndarray,
+        subscribers: np.ndarray,
+    ) -> PairSelection:
+        """Order the topic groups by first appearance and emit the CSR.
+
+        Reorders whole groups by their first-appearance rank: give
+        every pair its group's destination rank and stable-sort on that
+        small key (order inside each group is preserved).
+        """
         perm = np.argsort(first_seen, kind="stable")
         dest_rank = np.empty(perm.size, dtype=np.int64)
         dest_rank[perm] = np.arange(perm.size)
@@ -372,7 +410,7 @@ class GreedySelectPairs(SelectionAlgorithm):
         csr_indptr = np.zeros(perm.size + 1, dtype=np.int64)
         np.cumsum(sizes[perm], out=csr_indptr[1:])
         return PairSelection.from_csr(
-            group_topics[perm], csr_indptr, v_sel[group_order][final]
+            group_topics[perm], csr_indptr, subscribers[final], trusted=True
         )
 
 

@@ -1,0 +1,138 @@
+"""Sharded GSP: Stage-1 selection over subscriber shards, bit-exact.
+
+:class:`ShardedGreedySelectPairs` (``"gsp-sharded"``) splits the
+subscriber axis into contiguous shards, runs the vectorized sweep of
+:class:`~repro.selection.greedy.GreedySelectPairs` on each shard's
+zero-copy sub-view (:meth:`repro.core.Workload.subscriber_range`), and
+merges the per-shard topic groups into exactly the selection the
+whole-array sweep emits.  With an mmap-backed workload no shard ever
+materializes pair-sized arrays beyond its own slice, which is what
+makes 100M-pair solves fit a small RAM budget; with
+``MCSS_SHARD_WORKERS > 1`` shards additionally run across forked
+worker processes (:func:`repro.parallel.fork_map`).
+
+Why the merge is bit-exact
+--------------------------
+GSP is per-subscriber independent: subscriber ``v``'s picks depend only
+on its own interest row, its threshold, and the global rate table --
+all identical in the shard sub-view.  The only cross-subscriber state
+is the *presentation order*: groups keyed by first appearance in the
+global subscriber-major scan.  :meth:`GreedySelectPairs.select_grouped`
+exposes precisely that order as per-group first-appearance ranks
+(twice the global scan position; overshoot picks rank
+``2*indptr[v+1] - 1``).  A shard covering ``[lo, hi)`` scans the slice
+of the global order starting at ``indptr[lo]``, so rebasing its local
+ranks by ``2*indptr[lo]`` (both rank forms shift identically) and its
+subscriber ids by ``lo`` makes shard ranks globally comparable.  The
+merge then takes, per distinct topic, the minimum rebased rank and
+concatenates the shard chunks in shard order -- which *is* ascending
+subscriber order, since shards partition the subscriber axis
+contiguously.  No floats are compared across shards at any point, so
+the equivalence holds exactly, not just to tolerance.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Tuple
+
+import numpy as np
+
+from ..core import MCSSProblem, PairSelection
+from ..parallel import default_shard_size, default_workers, fork_map, shard_bounds
+from .base import SelectionAlgorithm, register_selector
+from .greedy import GreedySelectPairs
+
+__all__ = ["ShardedGreedySelectPairs", "merge_shard_groups"]
+
+_Groups = Tuple[np.ndarray, np.ndarray, np.ndarray, np.ndarray]
+
+
+def _select_shard(args: Tuple[MCSSProblem, int, int]) -> Optional[_Groups]:
+    """Run grouped GSP on subscribers ``[lo, hi)`` and rebase to global ids."""
+    problem, lo, hi = args
+    workload = problem.workload
+    sub = workload.subscriber_range(lo, hi)
+    grouped = GreedySelectPairs().select_grouped(
+        MCSSProblem(sub, problem.tau, problem.plan)
+    )
+    if grouped is None:
+        return None
+    topics, sizes, first_seen, subscribers = grouped
+    rank_offset = 2 * int(workload.interest_indptr[lo])
+    return topics, sizes, first_seen + rank_offset, subscribers + lo
+
+
+def merge_shard_groups(groups: List[_Groups]) -> _Groups:
+    """Merge rebased per-shard topic groups into global topic groups.
+
+    Input tuples are ``(group_topics, sizes, first_seen, subscribers)``
+    from :func:`_select_shard`, one per shard *in shard order*.  The
+    output is the same shape over the union of topics: distinct topics
+    ascending, per-topic sizes summed, per-topic minimum first-seen
+    rank, and each topic's subscribers concatenated in shard order
+    (= ascending subscriber, shards being contiguous ranges).  All
+    integer bookkeeping -- exact by construction.
+    """
+    topics = np.concatenate([g[0] for g in groups])
+    sizes = np.concatenate([g[1] for g in groups]).astype(np.int64)
+    first_seen = np.concatenate([g[2] for g in groups])
+    all_subs = np.concatenate([g[3] for g in groups])
+
+    # Per distinct topic: summed size and minimum first-appearance rank.
+    g_topics, dest = np.unique(topics, return_inverse=True)
+    g_sizes = np.bincount(dest, weights=sizes, minlength=g_topics.size).astype(
+        np.int64
+    )
+    g_first = np.full(g_topics.size, np.iinfo(np.int64).max, dtype=np.int64)
+    np.minimum.at(g_first, dest, first_seen)
+
+    # Scatter the shard chunks into topic-grouped layout in O(P): sort
+    # the *chunks* by destination topic (stable, so shard order -- i.e.
+    # ascending subscribers -- survives within a topic); laying the
+    # sorted chunks end to end is then exactly the grouped output, and
+    # one repeat+arange turns chunk copies into a single fancy gather.
+    src_starts = np.concatenate(([0], np.cumsum(sizes[:-1])))
+    corder = np.argsort(dest, kind="stable")
+    sizes_sorted = sizes[corder]
+    out_starts = np.concatenate(([0], np.cumsum(sizes_sorted[:-1])))
+    gather = (
+        np.repeat(src_starts[corder] - out_starts, sizes_sorted)
+        + np.arange(all_subs.size, dtype=np.int64)
+    )
+    return g_topics, g_sizes, g_first, all_subs[gather]
+
+
+@register_selector("gsp-sharded")
+class ShardedGreedySelectPairs(SelectionAlgorithm):
+    """Chunked GSP over subscriber shards; identical output to ``"gsp"``.
+
+    ``shard_size`` / ``workers`` default to the ``MCSS_SHARD_SIZE`` /
+    ``MCSS_SHARD_WORKERS`` environment knobs (read at construction).
+    Workloads smaller than one shard take the plain whole-array path
+    with zero sharding overhead.
+    """
+
+    def __init__(
+        self, shard_size: Optional[int] = None, workers: Optional[int] = None
+    ) -> None:
+        self.shard_size = (
+            default_shard_size() if shard_size is None else int(shard_size)
+        )
+        self.workers = default_workers() if workers is None else int(workers)
+        if self.shard_size <= 0:
+            raise ValueError("shard_size must be positive")
+
+    def select(self, problem: MCSSProblem) -> PairSelection:
+        bounds = shard_bounds(problem.workload.num_subscribers, self.shard_size)
+        if len(bounds) <= 1:
+            return GreedySelectPairs().select(problem)
+        shard_groups = fork_map(
+            _select_shard,
+            [(problem, lo, hi) for lo, hi in bounds],
+            self.workers,
+        )
+        shard_groups = [g for g in shard_groups if g is not None]
+        if not shard_groups:
+            return PairSelection({})
+        merged = merge_shard_groups(shard_groups)
+        return GreedySelectPairs._finalize_groups(*merged)

@@ -1,5 +1,6 @@
 """The two-stage MCSS solver pipeline (Section III)."""
 
 from .pipeline import MCSSSolution, MCSSSolver
+from .sharded import sharded_validate
 
-__all__ = ["MCSSSolution", "MCSSSolver"]
+__all__ = ["MCSSSolution", "MCSSSolver", "sharded_validate"]

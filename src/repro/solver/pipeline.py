@@ -139,6 +139,58 @@ class MCSSSolver:
             problem, selection, selection_seconds=t1 - t0
         )
 
+    def solve_sharded(
+        self,
+        problem: MCSSProblem,
+        shard_size: Optional[int] = None,
+        workers: Optional[int] = None,
+    ) -> MCSSSolution:
+        """Out-of-core solve: sharded Stage 1, sharded validation.
+
+        Identical result to :meth:`solve` (bit-exact for the bundled
+        integer-rate generators; see :mod:`repro.selection.sharded`),
+        but Stage 1 runs :class:`~repro.selection.sharded.
+        ShardedGreedySelectPairs` over subscriber shards and the final
+        audit runs :func:`~repro.solver.sharded.sharded_validate` over
+        topic shards, both optionally fanned out across forked workers.
+        Stage 2 packing stays sequential -- CBP's bin state is a chain
+        of dependent decisions, so the paper's Stage-2 cost is paid
+        once, whole -- but it only ever touches selection-sized arrays,
+        which is what lets a 100M-pair problem pack in a small RAM
+        budget when the workload itself is mmap-backed.
+
+        ``shard_size`` / ``workers`` default to the ``MCSS_SHARD_SIZE``
+        / ``MCSS_SHARD_WORKERS`` environment knobs.  The configured
+        ``self.selector`` is ignored for Stage 1 (this method *is* the
+        GSP path); the configured packer and ``validate`` flag apply
+        unchanged.
+        """
+        from ..selection.sharded import ShardedGreedySelectPairs
+        from .sharded import sharded_validate
+
+        selector = ShardedGreedySelectPairs(shard_size=shard_size, workers=workers)
+        t0 = time.perf_counter()
+        selection = selector.select(problem)
+        t1 = time.perf_counter()
+        placement = self.packer.pack(problem, selection)
+        t2 = time.perf_counter()
+
+        report = sharded_validate(problem, placement, workers=workers)
+        if self.validate:
+            report.raise_if_invalid()
+
+        return MCSSSolution(
+            problem=problem,
+            selection=selection,
+            placement=placement,
+            cost=problem.cost_of(placement),
+            selection_seconds=t1 - t0,
+            packing_seconds=t2 - t1,
+            selector_name=selector.name,
+            packer_name=self.packer.name,
+            validation=report,
+        )
+
     def solve_with_selection(
         self,
         problem: MCSSProblem,

@@ -19,6 +19,7 @@ from .io import (
     load_workload_csv,
     save_workload,
     save_workload_csv,
+    save_zipf_workload_chunked,
 )
 from .sampling import sample_subscribers
 from .social import (
@@ -47,6 +48,7 @@ __all__ = [
     "load_workload_csv",
     "save_workload",
     "save_workload_csv",
+    "save_zipf_workload_chunked",
     "sample_subscribers",
     "SocialGraph",
     "build_social_graph",

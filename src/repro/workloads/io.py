@@ -3,71 +3,267 @@
 Two formats:
 
 * ``.npz`` (:func:`save_workload` / :func:`load_workload`) -- compact
-  binary: event rates, a flattened interest array with offsets (the
-  standard CSR trick), and the message size.  The native format.
+  binary: the CSR interest arrays plus a header record.  The native
+  format, **versioned**:
+
+  - *version 2* (current): ``version``, ``generator_version`` (the
+    :data:`repro.workloads.GENERATOR_VERSION` the writer ran), the CSR
+    arrays ``event_rates`` / ``interest_indptr`` / ``interest_topics``,
+    and ``message_size_bytes``.  Written *uncompressed* by default so
+    that ``load_workload(path, mmap=True)`` can hand back a
+    :class:`~repro.core.backend.MmapBackend`-backed
+    :class:`~repro.core.Workload` whose arrays are ``np.memmap`` views
+    straight into the file -- no pair-sized RAM allocation, the entry
+    ticket to the out-of-core sharded solves
+    (:mod:`repro.selection.sharded`).
+  - *version 1* (legacy): same data under the older
+    ``interest_offsets`` key, always deflate-compressed.  Still loaded
+    (in RAM); asking to mmap it raises with a re-save hint.
+  - anything newer raises a clear "unsupported version" error instead
+    of misreading the file.
+
 * CSV pair lists (:func:`save_workload_csv` /
   :func:`load_workload_csv`) -- the interchange format external traces
   usually arrive in: one ``topic,subscriber`` pair per line plus a
   ``topic,rate`` side file, mirroring how the paper's Twitter tarball
   was laid out.
+
+:func:`save_zipf_workload_chunked` generates a Zipf workload directly
+*into* a format-2 file, one subscriber chunk at a time, so traces
+larger than RAM-comfortable (the 10M-user / >=100M-pair bench rung)
+never exist as a single in-RAM draw.
 """
 
 from __future__ import annotations
 
 import csv
 import os
-from typing import Dict, List, Tuple, Union
+import zipfile
+from typing import Dict, List, Optional, Union
 
 import numpy as np
+from numpy.lib import format as npformat
 
-from ..core import Workload, build_workload
+from ..core import MmapBackend, Workload, build_workload
+from .synthetic import GENERATOR_VERSION
 
 __all__ = [
     "save_workload",
     "load_workload",
     "save_workload_csv",
     "load_workload_csv",
+    "save_zipf_workload_chunked",
 ]
 
-_FORMAT_VERSION = 1
+_FORMAT_VERSION = 2
 
 
-def save_workload(workload: Workload, path: Union[str, os.PathLike]) -> None:
-    """Write a workload to ``path`` (``.npz`` appended if missing)."""
-    offsets = np.zeros(workload.num_subscribers + 1, dtype=np.int64)
-    chunks = []
-    for v in range(workload.num_subscribers):
-        interest = workload.interest(v)
-        offsets[v + 1] = offsets[v] + interest.size
-        chunks.append(interest)
-    flat = (
-        np.concatenate(chunks) if chunks else np.empty(0, dtype=np.int64)
-    )
-    np.savez_compressed(
+def _resolve_npz_path(path: Union[str, os.PathLike]) -> str:
+    """Mirror ``np.savez``'s filename rule (``.npz`` appended if missing)."""
+    path = os.fspath(path)
+    if not path.endswith(".npz"):
+        path = path + ".npz"
+    return path
+
+
+def save_workload(
+    workload: Workload,
+    path: Union[str, os.PathLike],
+    *,
+    compress: bool = False,
+) -> str:
+    """Write a workload to ``path`` (``.npz`` appended if missing).
+
+    Format version 2: the CSR arrays verbatim plus a header record
+    (format version and the writer's generator version).  Uncompressed
+    by default -- the members are then plain ``.npy`` blocks inside the
+    zip and :func:`load_workload` can memory-map them; pass
+    ``compress=True`` to trade that ability for a smaller file.
+    Returns the path actually written.
+    """
+    writer = np.savez_compressed if compress else np.savez
+    writer(
         path,
         version=np.int64(_FORMAT_VERSION),
-        event_rates=workload.event_rates,
-        interest_offsets=offsets,
-        interest_topics=flat,
+        generator_version=np.int64(GENERATOR_VERSION),
+        event_rates=np.asarray(workload.event_rates, dtype=np.float64),
+        interest_indptr=np.asarray(workload.interest_indptr, dtype=np.int64),
+        interest_topics=np.asarray(workload.interest_topics, dtype=np.int64),
         message_size_bytes=np.float64(workload.message_size_bytes),
+    )
+    return _resolve_npz_path(path)
+
+
+def _mmap_npz_member(path: str, zf: zipfile.ZipFile, name: str) -> np.ndarray:
+    """Memory-map one uncompressed ``.npy`` member of an ``.npz`` file.
+
+    A stored (non-deflated) zip member is the byte-identical ``.npy``
+    stream at a known file offset: local header (30 fixed bytes +
+    filename + extra field), then the npy magic/header, then the raw
+    array data -- which ``np.memmap`` can map directly.
+    """
+    member = name + ".npy"
+    info = zf.getinfo(member)
+    if info.compress_type != zipfile.ZIP_STORED:
+        raise ValueError(
+            f"cannot mmap compressed member {member!r}; re-save with "
+            "save_workload(..., compress=False)"
+        )
+    with open(path, "rb") as fh:
+        fh.seek(info.header_offset)
+        local = fh.read(30)
+        if local[:4] != b"PK\x03\x04":
+            raise ValueError(f"corrupt local header for member {member!r}")
+        name_len = int.from_bytes(local[26:28], "little")
+        extra_len = int.from_bytes(local[28:30], "little")
+        fh.seek(info.header_offset + 30 + name_len + extra_len)
+        magic = npformat.read_magic(fh)
+        if magic == (1, 0):
+            shape, fortran, dtype = npformat.read_array_header_1_0(fh)
+        elif magic == (2, 0):
+            shape, fortran, dtype = npformat.read_array_header_2_0(fh)
+        else:
+            raise ValueError(f"unsupported npy header version {magic} in {member!r}")
+        data_offset = fh.tell()
+    return np.memmap(
+        path,
+        dtype=dtype,
+        mode="r",
+        offset=data_offset,
+        shape=shape,
+        order="F" if fortran else "C",
     )
 
 
-def load_workload(path: Union[str, os.PathLike]) -> Workload:
-    """Read a workload previously written by :func:`save_workload`."""
-    with np.load(path) as data:
-        version = int(data["version"])
-        if version != _FORMAT_VERSION:
-            raise ValueError(f"unsupported workload format version {version}")
-        rates = data["event_rates"]
-        offsets = data["interest_offsets"]
-        flat = data["interest_topics"]
-        message_size = float(data["message_size_bytes"])
+def load_workload(
+    path: Union[str, os.PathLike], *, mmap: bool = False
+) -> Workload:
+    """Read a workload previously written by :func:`save_workload`.
 
-    interests = [
-        flat[offsets[v] : offsets[v + 1]] for v in range(offsets.size - 1)
-    ]
-    return Workload(rates, interests, message_size_bytes=message_size)
+    With ``mmap=True`` (format version 2, uncompressed) the returned
+    workload is backed by a :class:`~repro.core.backend.MmapBackend`:
+    its CSR arrays are read-only ``np.memmap`` views into the file, and
+    pair-sized derived caches spill to ``<path>.cache/`` sidecar files
+    instead of the Python heap.  The file is trusted on this path (it
+    was written from an already-validated workload); the in-RAM path
+    keeps the historical full re-validation.  Unknown (future) format
+    versions raise ``ValueError``.
+    """
+    path = os.fspath(path)
+    with np.load(path, allow_pickle=False) as data:
+        version = int(data["version"])
+        if version == 1:
+            if mmap:
+                raise ValueError(
+                    "workload format version 1 is compressed and cannot be "
+                    "memory-mapped; load it in RAM and re-save with "
+                    "save_workload() to enable mmap=True"
+                )
+            return Workload.from_csr(
+                data["event_rates"],
+                data["interest_offsets"],
+                data["interest_topics"],
+                message_size_bytes=float(data["message_size_bytes"]),
+            )
+        if version != _FORMAT_VERSION:
+            raise ValueError(
+                f"unsupported workload format version {version} "
+                f"(this build reads versions 1-{_FORMAT_VERSION})"
+            )
+        message_size = float(data["message_size_bytes"])
+        if not mmap:
+            return Workload.from_csr(
+                data["event_rates"],
+                data["interest_indptr"],
+                data["interest_topics"],
+                message_size_bytes=message_size,
+            )
+    with zipfile.ZipFile(path) as zf:
+        rates = _mmap_npz_member(path, zf, "event_rates")
+        indptr = _mmap_npz_member(path, zf, "interest_indptr")
+        flat = _mmap_npz_member(path, zf, "interest_topics")
+    return Workload.from_csr(
+        rates,
+        indptr,
+        flat,
+        message_size_bytes=message_size,
+        validate=False,
+        backend=MmapBackend(path + ".cache"),
+    )
+
+
+def save_zipf_workload_chunked(
+    path: Union[str, os.PathLike],
+    num_topics: int,
+    num_subscribers: int,
+    mean_interest: float = 5.0,
+    rate_exponent: float = 1.2,
+    max_rate: float = 10_000.0,
+    popularity_exponent: float = 1.1,
+    message_size_bytes: float = 200.0,
+    seed: Optional[int] = 0,
+    chunk_subscribers: int = 1_000_000,
+) -> str:
+    """Draw a Zipf workload chunk-by-chunk straight into a format-2 file.
+
+    Same marginals as :func:`repro.workloads.zipf_workload` (the rates
+    and popularity weights are deterministic functions of
+    ``num_topics``; interest sizes are Poisson-clipped; within-draw
+    duplicates collapse), but subscribers are drawn in independent
+    per-chunk streams seeded ``default_rng([seed, chunk_index])`` --
+    so the output is *not* a replay of ``zipf_workload(seed)``, it is
+    the out-of-core generator for traces whose single-draw temporaries
+    would not fit the memory budget (the 10M-user bench rung).  Peak
+    RAM is one chunk's draw plus the accumulated CSR arrays; the
+    workload itself is meant to be read back with
+    ``load_workload(path, mmap=True)``.  Returns the written path.
+    """
+    if num_topics <= 0 or num_subscribers <= 0:
+        raise ValueError("populations must be positive")
+    if chunk_subscribers <= 0:
+        raise ValueError("chunk_subscribers must be positive")
+
+    ranks = np.arange(1, num_topics + 1, dtype=np.float64)
+    rates = np.maximum(1.0, np.floor(max_rate / ranks**rate_exponent))
+    probs = ranks**-popularity_exponent
+    probs /= probs.sum()
+
+    counts = np.zeros(num_subscribers, dtype=np.int64)
+    flat_chunks: List[np.ndarray] = []
+    for chunk, lo in enumerate(range(0, num_subscribers, chunk_subscribers)):
+        hi = min(lo + chunk_subscribers, num_subscribers)
+        rng = np.random.default_rng([seed if seed is not None else 0, chunk])
+        sizes = np.clip(
+            rng.poisson(mean_interest, size=hi - lo), 1, num_topics
+        ).astype(np.int64)
+        subs = np.repeat(np.arange(lo, hi, dtype=np.int64), sizes)
+        picks = rng.choice(num_topics, size=int(sizes.sum()), p=probs)
+        # Packed-key unique: per-subscriber dedup + sorted interests,
+        # exactly as the in-RAM generator does -- global subscriber ids
+        # keep the chunks' key ranges disjoint and ascending, so the
+        # concatenated flats are already subscriber-major CSR data.
+        keys = np.unique(subs * num_topics + picks)
+        counts[lo:hi] = np.bincount(
+            keys // num_topics - lo, minlength=hi - lo
+        )
+        flat_chunks.append(keys % num_topics)
+
+    indptr = np.zeros(num_subscribers + 1, dtype=np.int64)
+    np.cumsum(counts, out=indptr[1:])
+    flat = (
+        np.concatenate(flat_chunks) if flat_chunks else np.empty(0, np.int64)
+    )
+    writer = np.savez
+    writer(
+        path,
+        version=np.int64(_FORMAT_VERSION),
+        generator_version=np.int64(GENERATOR_VERSION),
+        event_rates=rates,
+        interest_indptr=indptr,
+        interest_topics=flat,
+        message_size_bytes=np.float64(message_size_bytes),
+    )
+    return _resolve_npz_path(path)
 
 
 def save_workload_csv(

@@ -78,6 +78,25 @@ def small_uniform() -> Workload:
     return uniform_workload(40, 150, mean_interest=5.0, seed=5)
 
 
+@pytest.fixture(params=["ram", "mmap"])
+def backed_small_zipf(request, tmp_path) -> Workload:
+    """The ``small_zipf`` workload on both storage backends.
+
+    ``ram`` is the workload as built; ``mmap`` round-trips it through a
+    format-2 trace file and reopens it memory-mapped
+    (:class:`repro.core.MmapBackend`), so every test using this fixture
+    pins backend-independence of its path.
+    """
+    workload = zipf_workload(60, 200, mean_interest=6.0, seed=3)
+    if request.param == "mmap":
+        from repro.workloads import load_workload, save_workload
+
+        workload = load_workload(
+            save_workload(workload, tmp_path / "backed"), mmap=True
+        )
+    return workload
+
+
 def random_workload(
     rng: np.random.Generator,
     max_topics: int = 8,

@@ -2,10 +2,132 @@
 
 from __future__ import annotations
 
+import warnings
+
 import numpy as np
 import pytest
 
 from repro.core import PairSelection, Workload
+from repro.core import pairs as pairs_module
+
+
+class TestFromCsr:
+    """The one array-construction entry point (both arms + validation)."""
+
+    def test_csr_triple(self):
+        sel = PairSelection.from_csr(
+            np.array([3, 0], dtype=np.int64),
+            np.array([0, 2, 3], dtype=np.int64),
+            np.array([1, 4, 2], dtype=np.int64),
+        )
+        assert sel.num_pairs == 3
+        assert list(sel.topics) == [3, 0]  # insertion order preserved
+        assert sel.subscribers_of(3).tolist() == [1, 4]
+        assert sel.subscribers_of(0).tolist() == [2]
+
+    def test_trusted_adopts_without_copy(self):
+        topics = np.array([1], dtype=np.int64)
+        indptr = np.array([0, 2], dtype=np.int64)
+        subs = np.array([5, 6], dtype=np.int64)
+        sel = PairSelection.from_csr(topics, indptr, subs, trusted=True)
+        t, i, s = sel.csr_arrays()
+        assert t is topics and i is indptr and s is subs
+        assert not s.flags.writeable  # frozen in place
+
+    def test_flat_pair_arm_groups_by_topic(self):
+        # indptr=None: parallel per-pair arrays, grouped by ascending
+        # topic id, input order preserved within each group.
+        sel = PairSelection.from_csr(
+            np.array([4, 1, 4, 1], dtype=np.int64),
+            None,
+            np.array([7, 0, 2, 9], dtype=np.int64),
+        )
+        assert list(sel.topics) == [1, 4]
+        assert sel.subscribers_of(1).tolist() == [0, 9]
+        assert sel.subscribers_of(4).tolist() == [7, 2]
+
+    def test_flat_pair_arm_empty(self):
+        sel = PairSelection.from_csr(
+            np.empty(0, dtype=np.int64), None, np.empty(0, dtype=np.int64)
+        )
+        assert sel.num_pairs == 0
+
+    def test_flat_pair_arm_length_mismatch(self):
+        with pytest.raises(ValueError, match="parallel"):
+            PairSelection.from_csr(
+                np.array([1, 2], dtype=np.int64), None, np.array([0], dtype=np.int64)
+            )
+
+    def test_validation_rejects_bad_indptr(self):
+        with pytest.raises(ValueError, match="indptr"):
+            PairSelection.from_csr(
+                np.array([0], dtype=np.int64),
+                np.array([1, 2], dtype=np.int64),
+                np.array([0], dtype=np.int64),
+            )
+        with pytest.raises(ValueError, match="strictly increasing"):
+            PairSelection.from_csr(
+                np.array([0, 1], dtype=np.int64),
+                np.array([0, 1, 1], dtype=np.int64),
+                np.array([0], dtype=np.int64),
+            )
+
+    def test_validation_rejects_length_mismatch(self):
+        with pytest.raises(ValueError, match="indptr\\[-1\\]"):
+            PairSelection.from_csr(
+                np.array([0], dtype=np.int64),
+                np.array([0, 2], dtype=np.int64),
+                np.array([0], dtype=np.int64),
+            )
+
+    def test_validation_rejects_duplicate_topics(self):
+        with pytest.raises(ValueError, match="distinct"):
+            PairSelection.from_csr(
+                np.array([1, 1], dtype=np.int64),
+                np.array([0, 1, 2], dtype=np.int64),
+                np.array([0, 1], dtype=np.int64),
+            )
+
+    def test_validation_rejects_duplicate_subscribers(self):
+        with pytest.raises(ValueError, match="duplicate"):
+            PairSelection.from_csr(
+                np.array([4], dtype=np.int64),
+                np.array([0, 2], dtype=np.int64),
+                np.array([3, 3], dtype=np.int64),
+            )
+
+
+class TestDeprecatedShims:
+    """The retired constructors forward, and warn exactly once."""
+
+    @pytest.fixture(autouse=True)
+    def _reset_warn_once(self):
+        saved = set(pairs_module._WARNED_SHIMS)
+        pairs_module._WARNED_SHIMS.clear()
+        yield
+        pairs_module._WARNED_SHIMS.clear()
+        pairs_module._WARNED_SHIMS.update(saved)
+
+    def test_from_trusted_arrays_forwards_and_warns_once(self):
+        by_topic = {2: np.asarray([0, 3], dtype=np.int64)}
+        with pytest.deprecated_call(match="trusted=True"):
+            sel = PairSelection.from_trusted_arrays(by_topic)
+        assert sel == PairSelection({2: [0, 3]})
+        with warnings.catch_warnings(record=True) as record:  # second call is silent
+            warnings.simplefilter("always")
+            PairSelection.from_trusted_arrays(by_topic)
+        assert not [w for w in record if w.category is DeprecationWarning]
+
+    def test_from_pair_arrays_forwards_and_warns_once(self):
+        t = np.array([1, 0], dtype=np.int64)
+        v = np.array([2, 3], dtype=np.int64)
+        with pytest.deprecated_call(match="from_csr"):
+            sel = PairSelection.from_pair_arrays(t, v)
+        assert sel == PairSelection.from_csr(t, None, v)
+        with warnings.catch_warnings(record=True) as record:
+            warnings.simplefilter("always")
+            PairSelection.from_pair_arrays(t, v)
+        assert not [w for w in record if w.category is DeprecationWarning]
 
 
 class TestConstruction:

@@ -1,0 +1,183 @@
+"""Sharded Stage 1 / sharded validation == the whole-array paths, exactly.
+
+The out-of-core pipeline (subscriber-sharded GSP, topic-sharded
+validation, forked fan-outs) claims *bit-exactness* with the in-RAM
+single-process solve -- not statistical agreement.  These tests pin
+that claim on the edgy randomized workloads of the equivalence suite,
+including merges over adversarial shard boundaries (empty shards,
+single-subscriber shards) and broken placements for the validator.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core import MCSSProblem, validate_placement
+from repro.packing import FFBinPacking, diff_placements
+from repro.parallel import fork_map, shard_bounds
+from repro.selection import (
+    GreedySelectPairs,
+    ShardedGreedySelectPairs,
+    get_selector,
+    merge_shard_groups,
+)
+from repro.selection.sharded import _select_shard
+from repro.solver import MCSSSolver, sharded_validate
+from repro.workloads import zipf_workload
+from tests.conftest import make_unit_plan
+from tests.test_vectorized_equivalence import edgy_workload, taus_for
+
+NUM_RANDOM_WORKLOADS = 24
+
+
+def assert_same_csr(a, b):
+    """Selection identity down to group order and within-group order."""
+    at, ai, asub = a.csr_arrays()
+    bt, bi, bsub = b.csr_arrays()
+    np.testing.assert_array_equal(at, bt)
+    np.testing.assert_array_equal(ai, bi)
+    np.testing.assert_array_equal(asub, bsub)
+
+
+class TestShardMerge:
+    @pytest.mark.parametrize("seed", range(NUM_RANDOM_WORKLOADS))
+    def test_random_boundaries_match_unsharded(self, seed):
+        # Property test: ANY contiguous partition of the subscriber
+        # axis merges back to the whole-array selection, bit for bit.
+        rng = np.random.default_rng(31_000 + seed)
+        workload = edgy_workload(rng)
+        n = workload.num_subscribers
+        for tau in taus_for(workload, rng):
+            problem = MCSSProblem(workload, tau, make_unit_plan(1e12))
+            expected = GreedySelectPairs().select(problem)
+
+            cuts = np.sort(rng.integers(0, n + 1, size=int(rng.integers(0, 4))))
+            bounds = list(zip([0, *cuts.tolist()], [*cuts.tolist(), n]))
+            groups = [
+                g
+                for g in (_select_shard((problem, lo, hi)) for lo, hi in bounds)
+                if g is not None
+            ]
+            if not groups:
+                assert expected.num_pairs == 0
+                continue
+            merged = GreedySelectPairs._finalize_groups(*merge_shard_groups(groups))
+            assert_same_csr(merged, expected)
+
+    @pytest.mark.parametrize("shard_size", (1, 3, 5, 100))
+    def test_selector_matches_gsp(self, shard_size, small_zipf):
+        problem = MCSSProblem(small_zipf, 100.0, make_unit_plan(1e12))
+        expected = GreedySelectPairs().select(problem)
+        sharded = ShardedGreedySelectPairs(shard_size=shard_size).select(problem)
+        assert_same_csr(sharded, expected)
+
+    def test_forked_workers_match_serial(self, small_zipf):
+        problem = MCSSProblem(small_zipf, 100.0, make_unit_plan(1e12))
+        serial = ShardedGreedySelectPairs(shard_size=17, workers=1).select(problem)
+        forked = ShardedGreedySelectPairs(shard_size=17, workers=2).select(problem)
+        assert_same_csr(forked, serial)
+
+    def test_registered_selector_name(self):
+        assert isinstance(get_selector("gsp-sharded"), ShardedGreedySelectPairs)
+        assert ShardedGreedySelectPairs().name == "gsp-sharded"
+
+    def test_rejects_bad_shard_size(self):
+        with pytest.raises(ValueError):
+            ShardedGreedySelectPairs(shard_size=0)
+
+
+class TestShardedValidate:
+    @pytest.mark.parametrize("seed", range(NUM_RANDOM_WORKLOADS))
+    def test_solved_and_broken_placements(self, seed):
+        rng = np.random.default_rng(32_000 + seed)
+        workload = edgy_workload(rng)
+        max_rate = float(workload.event_rates.max())
+        big = MCSSProblem(workload, 8.0, make_unit_plan(1e9))
+        placement = FFBinPacking().pack(big, GreedySelectPairs().select(big))
+        # A feasible audit and a deliberately violated one (tight
+        # capacity + higher tau): both verdicts must match the
+        # whole-array validator field for field.
+        tight = MCSSProblem(workload, 50.0, make_unit_plan(2.0 * max_rate))
+        for problem in (big, tight):
+            expected = validate_placement(problem, placement)
+            for shards in (1, 2, 3, 7):
+                got = sharded_validate(
+                    problem, placement, shards=shards, workers=2 if shards > 2 else 1
+                )
+                assert got.ok == expected.ok, f"shards={shards}"
+                assert got.capacity_ok == expected.capacity_ok
+                assert got.satisfaction_ok == expected.satisfaction_ok
+                assert got.accounting_ok == expected.accounting_ok
+                assert got.overloaded_vms == expected.overloaded_vms
+                assert (
+                    got.unsatisfied_subscribers == expected.unsatisfied_subscribers
+                )
+
+    def test_duplicate_assignments_detected_across_shards(self, tiny_problem):
+        p = tiny_problem.empty_placement()
+        b = p.new_vm()
+        p.assign(b, 0, [0])
+        p.assign(b, 0, [0])
+        expected = validate_placement(tiny_problem, p)
+        got = sharded_validate(tiny_problem, p, shards=2)
+        assert got.accounting_ok == expected.accounting_ok is False
+
+
+class TestSolveSharded:
+    def test_matches_paper_solve(self, small_zipf):
+        capacity_bytes = (
+            4.0 * float(small_zipf.event_rates.max()) * small_zipf.message_size_bytes
+        )
+        problem = MCSSProblem(small_zipf, 100.0, make_unit_plan(capacity_bytes))
+        plain = MCSSSolver.paper().solve(problem)
+        sharded = MCSSSolver.paper().solve_sharded(
+            problem, shard_size=33, workers=2
+        )
+        assert_same_csr(sharded.selection, plain.selection)
+        assert diff_placements(sharded.placement, plain.placement) is None
+        assert sharded.cost.num_vms == plain.cost.num_vms
+        assert sharded.cost.total_usd == pytest.approx(
+            plain.cost.total_usd, rel=1e-12
+        )
+        assert sharded.validation.ok
+        assert sharded.selector_name == "gsp-sharded"
+
+
+class TestLadderWorkers:
+    def test_forked_taus_match_serial(self):
+        from repro.experiments import run_cost_ladder
+
+        workload = zipf_workload(25, 120, mean_interest=4.0, seed=6)
+        capacity_bytes = (
+            4.0 * float(workload.event_rates.max()) * workload.message_size_bytes
+        )
+        plan = make_unit_plan(capacity_bytes)
+        taus = [10.0, 100.0]
+        serial = run_cost_ladder(workload, plan, taus, workers=1)
+        forked = run_cost_ladder(workload, plan, taus, workers=2)
+        assert serial.cells.keys() == forked.cells.keys()
+        for variant, by_tau in serial.cells.items():
+            for tau, cell in by_tau.items():
+                assert forked.cells[variant][tau] == cell, (variant, tau)
+
+
+class TestForkMap:
+    def test_serial_and_pool_agree(self):
+        items = list(range(23))
+        assert fork_map(_square, items, workers=1) == [i * i for i in items]
+        assert fork_map(_square, items, workers=3) == [i * i for i in items]
+
+    def test_single_item_stays_serial(self):
+        assert fork_map(_square, [7], workers=8) == [49]
+
+    def test_shard_bounds(self):
+        assert shard_bounds(10, 4) == [(0, 4), (4, 8), (8, 10)]
+        assert shard_bounds(4, 4) == [(0, 4)]
+        assert shard_bounds(0, 4) == []
+        with pytest.raises(ValueError):
+            shard_bounds(10, 0)
+
+
+def _square(x: int) -> int:
+    return x * x

@@ -7,6 +7,7 @@ import pytest
 
 from repro.core import Workload
 from repro.workloads import (
+    GENERATOR_VERSION,
     load_workload,
     sample_subscribers,
     save_workload,
@@ -44,6 +45,62 @@ class TestIO:
         np.savez(path, **data)
         with pytest.raises(ValueError, match="version"):
             load_workload(path)
+
+
+class TestFormatVersions:
+    """The versioned on-disk format: v2 header, v1 legacy, mmap gating."""
+
+    def test_v2_header_fields(self, tmp_path, small_zipf):
+        path = save_workload(small_zipf, tmp_path / "trace")
+        with np.load(path) as data:
+            assert int(data["version"]) == 2
+            assert int(data["generator_version"]) == GENERATOR_VERSION
+            assert "interest_indptr" in data
+
+    def test_v1_legacy_file_still_loads(self, tmp_path, small_zipf):
+        # Hand-build a pre-versioning file: compressed, offsets key.
+        path = tmp_path / "legacy.npz"
+        np.savez_compressed(
+            path,
+            version=np.int64(1),
+            event_rates=small_zipf.event_rates,
+            interest_offsets=small_zipf.interest_indptr,
+            interest_topics=small_zipf.interest_topics,
+            message_size_bytes=np.float64(small_zipf.message_size_bytes),
+        )
+        loaded = load_workload(path)
+        assert np.array_equal(loaded.event_rates, small_zipf.event_rates)
+        assert np.array_equal(loaded.interest_topics, small_zipf.interest_topics)
+        assert loaded.message_size_bytes == small_zipf.message_size_bytes
+
+    def test_v1_mmap_rejected_with_resave_hint(self, tmp_path, small_zipf):
+        path = tmp_path / "legacy.npz"
+        np.savez_compressed(
+            path,
+            version=np.int64(1),
+            event_rates=small_zipf.event_rates,
+            interest_offsets=small_zipf.interest_indptr,
+            interest_topics=small_zipf.interest_topics,
+            message_size_bytes=np.float64(small_zipf.message_size_bytes),
+        )
+        with pytest.raises(ValueError, match="re-save"):
+            load_workload(path, mmap=True)
+
+    def test_compressed_v2_roundtrips_but_rejects_mmap(self, tmp_path, small_zipf):
+        path = save_workload(small_zipf, tmp_path / "packed", compress=True)
+        loaded = load_workload(path)  # RAM load is fine
+        assert np.array_equal(loaded.interest_topics, small_zipf.interest_topics)
+        with pytest.raises(ValueError, match="mmap"):
+            load_workload(path, mmap=True)
+
+    def test_mmap_load_values_match_ram_load(self, tmp_path, small_zipf):
+        path = save_workload(small_zipf, tmp_path / "trace")
+        mapped = load_workload(path, mmap=True)
+        plain = load_workload(path)
+        assert np.array_equal(mapped.event_rates, plain.event_rates)
+        assert np.array_equal(mapped.interest_indptr, plain.interest_indptr)
+        assert np.array_equal(mapped.interest_topics, plain.interest_topics)
+        assert mapped.message_size_bytes == plain.message_size_bytes
 
 
 class TestSampling:
