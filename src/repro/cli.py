@@ -7,7 +7,10 @@ Subcommands:
   plain-text table;
 * ``mcss solve --trace twitter --tau 100`` -- generate a trace, run a
   chosen (selector, packer) pipeline, print cost vs baseline and bound;
-* ``mcss analyze --trace twitter`` -- print trace statistics.
+* ``mcss analyze --trace twitter`` -- print trace statistics;
+* ``mcss churn --epochs 100 --checkpoint run.npz --checkpoint-every 10``
+  -- run a churned epoch experiment with atomic checkpoints; add
+  ``--resume`` to continue a killed run bit-exactly.
 """
 
 from __future__ import annotations
@@ -23,6 +26,7 @@ from .experiments import (
     describe_figures,
     make_plan,
     make_trace,
+    run_epoch_experiment,
     run_figure,
 )
 from .packing import available_packers
@@ -58,6 +62,31 @@ def build_parser() -> argparse.ArgumentParser:
     solve.add_argument("--packer", default="cbp", choices=available_packers())
     solve.add_argument("--users", type=int, default=None)
     solve.add_argument("--seed", type=int, default=None)
+
+    churn = sub.add_parser(
+        "churn", help="run a churned epoch experiment (checkpoint/resume)"
+    )
+    churn.add_argument("--trace", default="spotify", choices=("spotify", "twitter"))
+    churn.add_argument("--tau", type=float, default=100.0)
+    churn.add_argument("--instance", default="c3.large")
+    churn.add_argument("--users", type=int, default=None)
+    churn.add_argument("--seed", type=int, default=None)
+    churn.add_argument("--epochs", type=int, default=16)
+    churn.add_argument(
+        "--churn-seed", type=int, default=0, help="churn stream seed"
+    )
+    churn.add_argument(
+        "--checkpoint", default=None, metavar="PATH",
+        help="checkpoint file (.npz), written atomically",
+    )
+    churn.add_argument(
+        "--checkpoint-every", type=int, default=0, metavar="K",
+        help="persist run state every K epochs (0 = never)",
+    )
+    churn.add_argument(
+        "--resume", action="store_true",
+        help="resume bit-exactly from --checkpoint if it exists",
+    )
 
     analyze = sub.add_parser("analyze", help="print trace statistics")
     analyze.add_argument("--trace", default="twitter", choices=("spotify", "twitter"))
@@ -114,6 +143,25 @@ def _cmd_solve(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_churn(args: argparse.Namespace) -> int:
+    scale = _scale(args)
+    trace = make_trace(args.trace, scale)
+    plan = make_plan(args.instance, trace.workload, scale)
+    print(trace.describe())
+    result = run_epoch_experiment(
+        trace.workload,
+        plan,
+        args.tau,
+        args.epochs,
+        seed=args.churn_seed,
+        checkpoint_path=args.checkpoint,
+        checkpoint_every=args.checkpoint_every,
+        resume=args.resume,
+    )
+    print(result.render())
+    return 0
+
+
 def _cmd_analyze(args: argparse.Namespace) -> int:
     trace = make_trace(args.trace, _scale(args))
     print(trace.describe())
@@ -136,6 +184,8 @@ def main(argv: Optional[List[str]] = None) -> int:
         return _cmd_figure(args)
     if args.command == "solve":
         return _cmd_solve(args)
+    if args.command == "churn":
+        return _cmd_churn(args)
     if args.command == "analyze":
         return _cmd_analyze(args)
     raise AssertionError(f"unhandled command {args.command!r}")

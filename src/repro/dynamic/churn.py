@@ -211,6 +211,20 @@ class ChurnModel:
         """The current epoch's workload."""
         return self._workload
 
+    def rng_state(self) -> dict:
+        """The bit-generator state, as a JSON-able dict.
+
+        Together with :meth:`set_rng_state` this is the
+        checkpoint/resume seam: restoring the state makes the next
+        :meth:`step` draw exactly what an uninterrupted run would have
+        drawn (see :mod:`repro.resilience.checkpoint`).
+        """
+        return self._rng.bit_generator.state
+
+    def set_rng_state(self, state: dict) -> None:
+        """Rewind/advance the stream to a :meth:`rng_state` capture."""
+        self._rng.bit_generator.state = state
+
     def step(self) -> WorkloadDelta:
         """Advance one epoch and return the delta."""
         cfg = self.config

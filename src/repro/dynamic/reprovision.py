@@ -204,6 +204,99 @@ class IncrementalReprovisioner:
         """The current Stage-1 state (== the placed pair set)."""
         return PairSelection.from_csr(self._p_t, None, self._p_v, trusted=True)
 
+    @property
+    def epoch(self) -> int:
+        """Epochs stepped so far (0 before the first :meth:`step`)."""
+        return self._epoch
+
+    def snapshot(self) -> dict:
+        """The complete mutable state as a dict of arrays and scalars.
+
+        Everything :meth:`restore` needs to continue the run bit-exactly
+        without re-solving: the sorted pair arrays, fleet size, epoch
+        counters, the calibration ratio, the solve parameters, and the
+        current workload (carried by reference -- persist its CSR arrays
+        through the backend seam; see
+        :mod:`repro.resilience.checkpoint`).  ``used_bytes`` is derived
+        state included as an integrity cross-check.
+        """
+        return {
+            "pair_subscribers": self._p_v.copy(),
+            "pair_topics": self._p_t.copy(),
+            "pair_vms": self._p_vm.copy(),
+            "used_bytes": self._used_bytes(),
+            "num_vms": int(self._num_vms),
+            "epoch": int(self._epoch),
+            "since_fresh": int(self._since_fresh),
+            "lb_ratio": float(self._lb_ratio),
+            "tau": float(self._tau),
+            "rebuild_threshold": float(self._rebuild_threshold),
+            "fresh_solve_every": int(self._fresh_every),
+            "workload": self._workload,
+        }
+
+    @classmethod
+    def restore(
+        cls,
+        snapshot: dict,
+        plan,
+        solver: Optional[MCSSSolver] = None,
+    ) -> "IncrementalReprovisioner":
+        """Rebuild from a :meth:`snapshot` without re-solving epoch 0.
+
+        ``plan`` is configuration, not run state, so the caller passes
+        the same :class:`ProvisioningPlan` the original run used.  The
+        stored ``used_bytes`` is recomputed from the pair arrays and
+        cross-checked, catching a snapshot whose members were swapped
+        or tampered with after the per-member digests were stripped.
+        """
+        inst = cls.__new__(cls)
+        inst._solver = solver or MCSSSolver.paper()
+        inst._selector = GreedySelectPairs()
+        inst._rebuild_threshold = float(snapshot["rebuild_threshold"])
+        inst._fresh_every = int(snapshot["fresh_solve_every"])
+        inst._tau = float(snapshot["tau"])
+        inst._plan = plan
+        inst._epoch = int(snapshot["epoch"])
+        inst._since_fresh = int(snapshot["since_fresh"])
+        inst._lb_ratio = float(snapshot["lb_ratio"])
+        inst._workload = snapshot["workload"]
+        inst._p_v = np.asarray(snapshot["pair_subscribers"], dtype=np.int64)
+        inst._p_t = np.asarray(snapshot["pair_topics"], dtype=np.int64)
+        inst._p_vm = np.asarray(snapshot["pair_vms"], dtype=np.int64)
+        inst._num_vms = int(snapshot["num_vms"])
+        if not (inst._p_v.shape == inst._p_t.shape == inst._p_vm.shape):
+            raise ValueError("snapshot pair arrays disagree in length")
+        recomputed = inst._used_bytes()
+        stored = np.asarray(snapshot["used_bytes"], dtype=np.float64)
+        if stored.shape != recomputed.shape or not np.allclose(
+            stored, recomputed, rtol=1e-9, atol=0.0
+        ):
+            raise ValueError(
+                "snapshot used_bytes does not match its pair arrays "
+                "(inconsistent or tampered snapshot)"
+            )
+        return inst
+
+    def _used_bytes(self) -> np.ndarray:
+        """Per-VM used bytes derived from the pair arrays (whole-array)."""
+        rates = self._workload.event_rates
+        msg = self._workload.message_size_bytes
+        if not self._p_v.size:
+            return np.zeros(self._num_vms, dtype=np.float64)
+        big_l = int(self._workload.num_topics)
+        gkey, g_cnt = np.unique(
+            self._p_vm * big_l + self._p_t, return_counts=True
+        )
+        return (
+            np.bincount(
+                gkey // big_l,
+                weights=rates[gkey % big_l] * (g_cnt + 1),
+                minlength=self._num_vms,
+            ).astype(np.float64)
+            * msg
+        )
+
     def step(self, new_workload) -> EpochReport:
         """Adapt to a new epoch's workload; returns the epoch report.
 

@@ -8,6 +8,7 @@ from .config import (
     make_plan,
     make_trace,
 )
+from .epochs import EpochRunResult, run_epoch_experiment
 from .figures import FIGURES, describe_figures, run_figure
 from .ladder import LADDER_VARIANTS, LadderCell, LadderResult, run_cost_ladder
 from .runtime import (
@@ -28,6 +29,8 @@ __all__ = [
     "calibrate_fraction",
     "make_plan",
     "make_trace",
+    "EpochRunResult",
+    "run_epoch_experiment",
     "FIGURES",
     "describe_figures",
     "run_figure",

@@ -24,7 +24,7 @@ from typing import Dict, List, Optional, Sequence, Tuple
 from ..bounds import lower_bound
 from ..core import MCSSProblem, Workload
 from ..packing import CBPOptions
-from ..parallel import fork_map
+from ..resilience.supervise import supervised_map
 from ..pricing import PricingPlan
 from ..selection import GreedySelectPairs
 from ..solver import MCSSSolver
@@ -137,7 +137,8 @@ def _ladder_tau_cells(
     even in the sequential ladder) -- which is what makes the tau axis
     the natural process fan-out for Stage 2: CBP itself is sequential,
     but the ladder's taus never were.  Module-level so
-    :func:`repro.parallel.fork_map` can dispatch it to forked workers.
+    :func:`repro.resilience.supervise.supervised_map` can dispatch it
+    to forked workers.
     """
     workload, plan, tau, wanted, warm_start = args
     solvers = {
@@ -258,7 +259,7 @@ def run_cost_ladder(
         if name in wanted:
             result.cells[name] = {}
 
-    per_tau = fork_map(
+    per_tau = supervised_map(
         _ladder_tau_cells,
         [(workload, plan, tau, wanted, warm_start) for tau in taus],
         workers,

@@ -16,6 +16,12 @@ Whenever ``workers <= 1``, the piece count is 1, or ``fork`` is
 unavailable on the platform, :func:`fork_map` degrades to a plain
 serial loop in-process -- same results, same order, no pool.
 
+For fault tolerance (dead-child detection, per-piece timeouts,
+retries, fault injection) wrap pieces in
+:func:`repro.resilience.supervise.supervised_map`, which keeps this
+module's contract and is what the sharded pipeline actually calls;
+``fork_map`` stays the raw, unsupervised primitive.
+
 Environment knobs (read at call/construction time, documented in
 docs/BENCHMARKS.md): ``MCSS_SHARD_SIZE`` (subscribers per shard,
 default 1,000,000) and ``MCSS_SHARD_WORKERS`` (worker processes,
@@ -25,8 +31,9 @@ default 1 = serial).
 from __future__ import annotations
 
 import multiprocessing
-import os
 from typing import Any, Callable, List, Optional, Sequence, Tuple
+
+from .resilience.knobs import env_int
 
 __all__ = [
     "default_shard_size",
@@ -38,12 +45,12 @@ __all__ = [
 
 def default_shard_size() -> int:
     """Subscribers per shard (``MCSS_SHARD_SIZE``, default 1,000,000)."""
-    return int(os.environ.get("MCSS_SHARD_SIZE", 1_000_000))
+    return env_int("MCSS_SHARD_SIZE", 1_000_000, minimum=1)
 
 
 def default_workers() -> int:
     """Worker processes for fan-out (``MCSS_SHARD_WORKERS``, default 1)."""
-    return int(os.environ.get("MCSS_SHARD_WORKERS", 1))
+    return env_int("MCSS_SHARD_WORKERS", 1, minimum=0)
 
 
 def shard_bounds(n: int, shard_size: int) -> List[Tuple[int, int]]:

@@ -1,0 +1,59 @@
+"""Fault tolerance for the out-of-core pipeline.
+
+Four small substrates, threaded through the sharded solve end to end:
+
+* :mod:`~repro.resilience.knobs` — validated ``MCSS_*`` env parsing
+  with errors that name the variable.
+* :mod:`~repro.resilience.supervise` — :func:`supervised_map`, the
+  fault-tolerant envelope around ``parallel.fork_map`` (dead-child
+  detection, per-piece timeout, digest-checked results, seeded-backoff
+  retries, degrade-to-serial) plus the :class:`FaultPlan` injection
+  seam the chaos suite drives.
+* :mod:`~repro.resilience.integrity` — atomic writes and per-member
+  content digests for every on-disk artifact.
+* :mod:`~repro.resilience.checkpoint` — atomic checkpoint/restore so
+  killed epoch runs resume bit-exactly.
+
+See the "Failure model & recovery" section of docs/ARCHITECTURE.md.
+"""
+
+from .checkpoint import CHECKPOINT_VERSION, load_checkpoint, save_checkpoint
+from .faults import FAULT_KINDS, FaultPlan, FaultSpec
+from .integrity import (
+    TraceCorruptionError,
+    atomic_write,
+    member_digest,
+    verified_member,
+    write_npz_atomic,
+)
+from .knobs import KnobError, env_float, env_int, env_str
+from .supervise import (
+    PieceFailedError,
+    SupervisedStats,
+    default_max_retries,
+    default_piece_timeout,
+    supervised_map,
+)
+
+__all__ = [
+    "CHECKPOINT_VERSION",
+    "FAULT_KINDS",
+    "FaultPlan",
+    "FaultSpec",
+    "KnobError",
+    "PieceFailedError",
+    "SupervisedStats",
+    "TraceCorruptionError",
+    "atomic_write",
+    "default_max_retries",
+    "default_piece_timeout",
+    "env_float",
+    "env_int",
+    "env_str",
+    "load_checkpoint",
+    "member_digest",
+    "save_checkpoint",
+    "supervised_map",
+    "verified_member",
+    "write_npz_atomic",
+]

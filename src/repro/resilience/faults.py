@@ -1,0 +1,111 @@
+"""Deterministic fault injection for the supervised fan-out.
+
+A :class:`FaultPlan` names exactly which piece misbehaves on which
+attempt, so every failure path of :func:`repro.resilience.supervise.
+supervised_map` is *exercised* by the chaos suite rather than reasoned
+about.  Plans are plain data and env-selectable (``MCSS_FAULT_PLAN``)
+so CI can drive a real sharded solve through kill/hang/corrupt without
+touching the solver code.
+
+Spec syntax (semicolon-separated entries)::
+
+    kind:piece:attempt[;kind:piece:attempt...]
+
+where ``kind`` is ``kill`` (child exits without reporting), ``hang``
+(child sleeps past any sane deadline), or ``corrupt`` (child flips a
+byte of its result payload *after* digesting it); ``piece`` is the
+0-based piece index; ``attempt`` is the 1-based attempt number or
+``*`` for every attempt (the retry-exhaustion case).
+
+Example: ``kill:0:1;corrupt:3:*``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional, Tuple
+
+from .knobs import KnobError, env_str
+
+__all__ = ["FAULT_KINDS", "FaultPlan", "FaultSpec"]
+
+FAULT_KINDS = ("kill", "hang", "corrupt")
+
+
+@dataclass(frozen=True)
+class FaultSpec:
+    """One injected fault: ``kind`` hits ``piece`` on ``attempt``."""
+
+    kind: str
+    piece: int
+    attempt: Optional[int]  # None = every attempt ("*")
+
+    def matches(self, piece: int, attempt: int) -> bool:
+        return self.piece == piece and self.attempt in (None, attempt)
+
+
+class FaultPlan:
+    """An immutable set of :class:`FaultSpec` entries."""
+
+    def __init__(self, specs: Tuple[FaultSpec, ...] = ()):
+        self.specs = tuple(specs)
+
+    @classmethod
+    def parse(cls, spec: str, *, source: str = "fault plan") -> "FaultPlan":
+        """Parse the ``kind:piece:attempt[;...]`` syntax.
+
+        ``source`` names the origin in errors (e.g. the env variable).
+        """
+        specs = []
+        for entry in spec.split(";"):
+            entry = entry.strip()
+            if not entry:
+                continue
+            parts = entry.split(":")
+            if len(parts) != 3:
+                raise KnobError(
+                    f"{source}: bad entry {entry!r} "
+                    "(expected kind:piece:attempt)"
+                )
+            kind, piece_s, attempt_s = parts
+            if kind not in FAULT_KINDS:
+                raise KnobError(
+                    f"{source}: unknown fault kind {kind!r} "
+                    f"(expected one of {', '.join(FAULT_KINDS)})"
+                )
+            try:
+                piece = int(piece_s)
+                attempt = None if attempt_s == "*" else int(attempt_s)
+            except ValueError:
+                raise KnobError(
+                    f"{source}: bad entry {entry!r} "
+                    "(piece must be an integer, attempt an integer or '*')"
+                ) from None
+            if piece < 0 or (attempt is not None and attempt < 1):
+                raise KnobError(
+                    f"{source}: bad entry {entry!r} "
+                    "(piece is 0-based >= 0, attempt is 1-based >= 1)"
+                )
+            specs.append(FaultSpec(kind, piece, attempt))
+        return cls(tuple(specs))
+
+    @classmethod
+    def from_env(cls) -> Optional["FaultPlan"]:
+        """The plan named by ``MCSS_FAULT_PLAN``, or None when unset."""
+        spec = env_str("MCSS_FAULT_PLAN", "")
+        if not spec.strip():
+            return None
+        return cls.parse(spec, source="MCSS_FAULT_PLAN")
+
+    def fault_for(self, piece: int, attempt: int) -> Optional[str]:
+        """The fault kind hitting (piece, attempt), or None."""
+        for spec in self.specs:
+            if spec.matches(piece, attempt):
+                return spec.kind
+        return None
+
+    def __bool__(self) -> bool:
+        return bool(self.specs)
+
+    def __repr__(self) -> str:
+        return f"FaultPlan({self.specs!r})"

@@ -8,8 +8,12 @@ merges the per-shard topic groups into exactly the selection the
 whole-array sweep emits.  With an mmap-backed workload no shard ever
 materializes pair-sized arrays beyond its own slice, which is what
 makes 100M-pair solves fit a small RAM budget; with
-``MCSS_SHARD_WORKERS > 1`` shards additionally run across forked
-worker processes (:func:`repro.parallel.fork_map`).
+``MCSS_SHARD_WORKERS > 1`` shards additionally run across forked,
+supervised worker processes
+(:func:`repro.resilience.supervise.supervised_map`: dead-child
+detection, per-piece timeouts, seeded-backoff retries, and a
+degrade-to-serial fallback -- all result-neutral because the merge
+below is order-independent).
 
 Why the merge is bit-exact
 --------------------------
@@ -38,7 +42,8 @@ from typing import List, Optional, Tuple
 import numpy as np
 
 from ..core import MCSSProblem, PairSelection
-from ..parallel import default_shard_size, default_workers, fork_map, shard_bounds
+from ..parallel import default_shard_size, default_workers, shard_bounds
+from ..resilience.supervise import supervised_map
 from .base import SelectionAlgorithm, register_selector
 from .greedy import GreedySelectPairs
 
@@ -126,7 +131,7 @@ class ShardedGreedySelectPairs(SelectionAlgorithm):
         bounds = shard_bounds(problem.workload.num_subscribers, self.shard_size)
         if len(bounds) <= 1:
             return GreedySelectPairs().select(problem)
-        shard_groups = fork_map(
+        shard_groups = supervised_map(
             _select_shard,
             [(problem, lo, hi) for lo, hi in bounds],
             self.workers,

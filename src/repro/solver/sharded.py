@@ -10,7 +10,9 @@ audit shards *topics* here.
 groups into contiguous topic ranges, runs the same partial reduction
 :func:`repro.core.validation.validate_placement` uses internally
 (:func:`~repro.core.validation._reduce_assignments`) on each shard --
-optionally across forked workers -- and sums the per-VM byte vectors
+optionally across forked, supervised workers (see
+:func:`repro.resilience.supervise.supervised_map`) -- and sums the
+per-VM byte vectors
 and per-subscriber delivered-rate vectors before handing them to the
 shared verdict.  The partition is by *topic*, which is what makes the
 partial reductions additive: capacity terms are per-group independent,
@@ -30,7 +32,8 @@ import numpy as np
 
 from ..core import MCSSProblem, Placement, ValidationReport
 from ..core.validation import _reduce_assignments, _verdict
-from ..parallel import default_workers, fork_map, shard_bounds
+from ..parallel import default_workers, shard_bounds
+from ..resilience.supervise import supervised_map
 
 __all__ = ["sharded_validate"]
 
@@ -66,7 +69,7 @@ def sharded_validate(
     _, topic_arr, _, _ = placement.assignment_arrays()
     num_topics = problem.workload.num_topics
     shard_size = -(-num_topics // shards)  # ceil; partition never splits a topic
-    parts = fork_map(
+    parts = supervised_map(
         _reduce_shard,
         [
             (problem, placement, np.flatnonzero((topic_arr >= lo) & (topic_arr < hi)))

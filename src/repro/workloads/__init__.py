@@ -15,6 +15,7 @@ from .distributions import (
     truncated_power_law,
 )
 from .io import (
+    TraceCorruptionError,
     load_workload,
     load_workload_csv,
     save_workload,
@@ -44,6 +45,7 @@ __all__ = [
     "glitched_following_counts",
     "lognormal_rates",
     "truncated_power_law",
+    "TraceCorruptionError",
     "load_workload",
     "load_workload_csv",
     "save_workload",

@@ -6,19 +6,31 @@ Two formats:
   binary: the CSR interest arrays plus a header record.  The native
   format, **versioned**:
 
-  - *version 2* (current): ``version``, ``generator_version`` (the
+  - *version 3* (current): ``version``, ``generator_version`` (the
     :data:`repro.workloads.GENERATOR_VERSION` the writer ran), the CSR
     arrays ``event_rates`` / ``interest_indptr`` / ``interest_topics``,
-    and ``message_size_bytes``.  Written *uncompressed* by default so
-    that ``load_workload(path, mmap=True)`` can hand back a
+    ``message_size_bytes``, and a ``digest_<member>`` CRC32 for each of
+    those payload members.  Loads verify the digests and raise
+    :class:`TraceCorruptionError` *naming the bad member*; writes go
+    through tmp-file + fsync + atomic rename
+    (:func:`repro.resilience.integrity.atomic_write`), so an
+    interrupted save never leaves a half-valid trace behind.  Written
+    *uncompressed* by default so that ``load_workload(path,
+    mmap=True)`` can hand back a
     :class:`~repro.core.backend.MmapBackend`-backed
     :class:`~repro.core.Workload` whose arrays are ``np.memmap`` views
     straight into the file -- no pair-sized RAM allocation, the entry
     ticket to the out-of-core sharded solves
-    (:mod:`repro.selection.sharded`).
+    (:mod:`repro.selection.sharded`).  The mmap path skips digest
+    verification by default (it would page in the whole trace); pass
+    ``verify=True`` to force it.
+  - *version 2*: identical payload without the digests.  Still loads
+    (including mmap); there is simply nothing to verify.
   - *version 1* (legacy): same data under the older
     ``interest_offsets`` key, always deflate-compressed.  Still loaded
-    (in RAM); asking to mmap it raises with a re-save hint.
+    (in RAM); a truncated file raises :class:`TraceCorruptionError`
+    naming the missing member, and asking to mmap it raises with a
+    re-save hint (re-saving writes format v3).
   - anything newer raises a clear "unsupported version" error instead
     of misreading the file.
 
@@ -29,15 +41,21 @@ Two formats:
   was laid out.
 
 :func:`save_zipf_workload_chunked` generates a Zipf workload directly
-*into* a format-2 file, one subscriber chunk at a time, so traces
+*into* a format-3 file, one subscriber chunk at a time, so traces
 larger than RAM-comfortable (the 10M-user / >=100M-pair bench rung)
-never exist as a single in-RAM draw.
+never exist as a single in-RAM draw.  Each completed chunk is
+persisted to a ``<path>.parts/`` sidecar and recorded in a
+``<path>.manifest.json``; a re-run after a crash resumes from the
+completed chunks (bit-exactly -- chunks are independently seeded) and
+cleans both up once the final trace is atomically in place.
 """
 
 from __future__ import annotations
 
 import csv
+import json
 import os
+import shutil
 import zipfile
 from typing import Dict, List, Optional, Union
 
@@ -45,9 +63,17 @@ import numpy as np
 from numpy.lib import format as npformat
 
 from ..core import MmapBackend, Workload, build_workload
+from ..resilience.integrity import (
+    TraceCorruptionError,
+    atomic_write,
+    member_digest,
+    verified_member,
+    write_npz_atomic,
+)
 from .synthetic import GENERATOR_VERSION
 
 __all__ = [
+    "TraceCorruptionError",
     "save_workload",
     "load_workload",
     "save_workload_csv",
@@ -55,7 +81,14 @@ __all__ = [
     "save_zipf_workload_chunked",
 ]
 
-_FORMAT_VERSION = 2
+_FORMAT_VERSION = 3
+# Members carrying a digest_<name> CRC32 in format v3.
+_PAYLOAD_MEMBERS = (
+    "event_rates",
+    "interest_indptr",
+    "interest_topics",
+    "message_size_bytes",
+)
 
 
 def _resolve_npz_path(path: Union[str, os.PathLike]) -> str:
@@ -66,6 +99,19 @@ def _resolve_npz_path(path: Union[str, os.PathLike]) -> str:
     return path
 
 
+def _workload_members(
+    event_rates, interest_indptr, interest_topics, message_size_bytes
+) -> Dict[str, np.ndarray]:
+    return {
+        "version": np.int64(_FORMAT_VERSION),
+        "generator_version": np.int64(GENERATOR_VERSION),
+        "event_rates": np.asarray(event_rates, dtype=np.float64),
+        "interest_indptr": np.asarray(interest_indptr, dtype=np.int64),
+        "interest_topics": np.asarray(interest_topics, dtype=np.int64),
+        "message_size_bytes": np.float64(message_size_bytes),
+    }
+
+
 def save_workload(
     workload: Workload,
     path: Union[str, os.PathLike],
@@ -74,24 +120,28 @@ def save_workload(
 ) -> str:
     """Write a workload to ``path`` (``.npz`` appended if missing).
 
-    Format version 2: the CSR arrays verbatim plus a header record
-    (format version and the writer's generator version).  Uncompressed
-    by default -- the members are then plain ``.npy`` blocks inside the
-    zip and :func:`load_workload` can memory-map them; pass
-    ``compress=True`` to trade that ability for a smaller file.
-    Returns the path actually written.
+    Format version 3: the CSR arrays verbatim, a header record (format
+    version and the writer's generator version), and a per-member
+    CRC32.  The write is atomic (tmp file + fsync + rename): readers
+    see the old file or the complete new one, never a prefix.
+    Uncompressed by default -- the members are then plain ``.npy``
+    blocks inside the zip and :func:`load_workload` can memory-map
+    them; pass ``compress=True`` to trade that ability for a smaller
+    file.  Returns the path actually written.
     """
-    writer = np.savez_compressed if compress else np.savez
-    writer(
+    path = _resolve_npz_path(path)
+    write_npz_atomic(
         path,
-        version=np.int64(_FORMAT_VERSION),
-        generator_version=np.int64(GENERATOR_VERSION),
-        event_rates=np.asarray(workload.event_rates, dtype=np.float64),
-        interest_indptr=np.asarray(workload.interest_indptr, dtype=np.int64),
-        interest_topics=np.asarray(workload.interest_topics, dtype=np.int64),
-        message_size_bytes=np.float64(workload.message_size_bytes),
+        _workload_members(
+            workload.event_rates,
+            workload.interest_indptr,
+            workload.interest_topics,
+            workload.message_size_bytes,
+        ),
+        digest_members=_PAYLOAD_MEMBERS,
+        compress=compress,
     )
-    return _resolve_npz_path(path)
+    return path
 
 
 def _mmap_npz_member(path: str, zf: zipfile.ZipFile, name: str) -> np.ndarray:
@@ -135,12 +185,35 @@ def _mmap_npz_member(path: str, zf: zipfile.ZipFile, name: str) -> np.ndarray:
     )
 
 
+def _v1_member(data, name: str, path: str) -> np.ndarray:
+    """Fetch a legacy-format member, diagnosing truncation by name."""
+    try:
+        return data[name]
+    except KeyError:
+        raise TraceCorruptionError(
+            f"legacy (v1) workload file {path!r} is truncated: member "
+            f"{name!r} is missing; re-generate it, or load an intact copy "
+            "and re-save with save_workload() (writes format v3)"
+        ) from None
+
+
 def load_workload(
-    path: Union[str, os.PathLike], *, mmap: bool = False
+    path: Union[str, os.PathLike],
+    *,
+    mmap: bool = False,
+    verify: Optional[bool] = None,
 ) -> Workload:
     """Read a workload previously written by :func:`save_workload`.
 
-    With ``mmap=True`` (format version 2, uncompressed) the returned
+    ``verify`` controls digest checking of format-v3 members: the
+    default (``None``) verifies on in-RAM loads and skips on mmap
+    loads (checking there would page in the whole trace up front);
+    ``verify=True`` forces the check everywhere and *requires* digests
+    (a v2 file then fails with an error naming the missing digest
+    member); ``verify=False`` skips it.  A failed check raises
+    :class:`TraceCorruptionError` naming the corrupt member.
+
+    With ``mmap=True`` (uncompressed v2/v3 files) the returned
     workload is backed by a :class:`~repro.core.backend.MmapBackend`:
     its CSR arrays are read-only ``np.memmap`` views into the file, and
     pair-sized derived caches spill to ``<path>.cache/`` sidecar files
@@ -157,31 +230,68 @@ def load_workload(
                 raise ValueError(
                     "workload format version 1 is compressed and cannot be "
                     "memory-mapped; load it in RAM and re-save with "
-                    "save_workload() to enable mmap=True"
+                    "save_workload() (writes format v3) to enable mmap=True"
                 )
             return Workload.from_csr(
-                data["event_rates"],
-                data["interest_offsets"],
-                data["interest_topics"],
-                message_size_bytes=float(data["message_size_bytes"]),
+                _v1_member(data, "event_rates", path),
+                _v1_member(data, "interest_offsets", path),
+                _v1_member(data, "interest_topics", path),
+                message_size_bytes=float(
+                    _v1_member(data, "message_size_bytes", path)
+                ),
             )
-        if version != _FORMAT_VERSION:
+        if version not in (2, _FORMAT_VERSION):
             raise ValueError(
                 f"unsupported workload format version {version} "
                 f"(this build reads versions 1-{_FORMAT_VERSION})"
             )
-        message_size = float(data["message_size_bytes"])
         if not mmap:
+            check = verify is not False
+            members = {
+                name: verified_member(
+                    data, name, path,
+                    verify=check, require_digest=verify is True,
+                )
+                for name in _PAYLOAD_MEMBERS
+            }
             return Workload.from_csr(
-                data["event_rates"],
-                data["interest_indptr"],
-                data["interest_topics"],
-                message_size_bytes=message_size,
+                members["event_rates"],
+                members["interest_indptr"],
+                members["interest_topics"],
+                message_size_bytes=float(members["message_size_bytes"]),
             )
+        message_size = float(
+            verified_member(
+                data, "message_size_bytes", path,
+                verify=bool(verify), require_digest=verify is True,
+            )
+        )
     with zipfile.ZipFile(path) as zf:
         rates = _mmap_npz_member(path, zf, "event_rates")
         indptr = _mmap_npz_member(path, zf, "interest_indptr")
         flat = _mmap_npz_member(path, zf, "interest_topics")
+    if verify:
+        # Explicit opt-in: stream every mapped member through the CRC
+        # (pages the trace in once) before trusting it.
+        with np.load(path, allow_pickle=False) as data:
+            for name, arr in (
+                ("event_rates", rates),
+                ("interest_indptr", indptr),
+                ("interest_topics", flat),
+            ):
+                digest_name = "digest_" + name
+                if digest_name not in data.files:
+                    raise TraceCorruptionError(
+                        f"member {digest_name!r} is missing from {path!r}; "
+                        f"cannot verify {name!r}"
+                    )
+                want = int(np.uint32(data[digest_name]))
+                got = member_digest(arr)
+                if got != want:
+                    raise TraceCorruptionError(
+                        f"member {name!r} of {path!r} is corrupt: "
+                        f"crc32 {got:#010x} != recorded {want:#010x}"
+                    )
     return Workload.from_csr(
         rates,
         indptr,
@@ -190,6 +300,47 @@ def load_workload(
         validate=False,
         backend=MmapBackend(path + ".cache"),
     )
+
+
+def _draw_zipf_chunk(
+    chunk: int,
+    lo: int,
+    hi: int,
+    num_topics: int,
+    mean_interest: float,
+    probs: np.ndarray,
+    seed: Optional[int],
+):
+    """Draw one subscriber chunk; an independent stream per chunk index.
+
+    The per-chunk seeding is what makes resume-after-crash bit-exact:
+    a chunk's draw never depends on which other chunks already ran.
+    """
+    rng = np.random.default_rng([seed if seed is not None else 0, chunk])
+    sizes = np.clip(
+        rng.poisson(mean_interest, size=hi - lo), 1, num_topics
+    ).astype(np.int64)
+    subs = np.repeat(np.arange(lo, hi, dtype=np.int64), sizes)
+    picks = rng.choice(num_topics, size=int(sizes.sum()), p=probs)
+    # Packed-key unique: per-subscriber dedup + sorted interests,
+    # exactly as the in-RAM generator does -- global subscriber ids
+    # keep the chunks' key ranges disjoint and ascending, so the
+    # concatenated flats are already subscriber-major CSR data.
+    keys = np.unique(subs * num_topics + picks)
+    chunk_counts = np.bincount(keys // num_topics - lo, minlength=hi - lo)
+    return chunk_counts.astype(np.int64), keys % num_topics
+
+
+def _load_manifest(manifest_path: str, params: dict) -> List[int]:
+    """Completed chunk ids from a matching sidecar manifest, else []."""
+    try:
+        with open(manifest_path) as fh:
+            manifest = json.load(fh)
+    except (OSError, ValueError):
+        return []
+    if manifest.get("params") != params:
+        return []  # different draw: the partial state is useless
+    return [int(c) for c in manifest.get("chunks", [])]
 
 
 def save_zipf_workload_chunked(
@@ -203,8 +354,9 @@ def save_zipf_workload_chunked(
     message_size_bytes: float = 200.0,
     seed: Optional[int] = 0,
     chunk_subscribers: int = 1_000_000,
+    resume: bool = True,
 ) -> str:
-    """Draw a Zipf workload chunk-by-chunk straight into a format-2 file.
+    """Draw a Zipf workload chunk-by-chunk straight into a format-3 file.
 
     Same marginals as :func:`repro.workloads.zipf_workload` (the rates
     and popularity weights are deterministic functions of
@@ -216,12 +368,39 @@ def save_zipf_workload_chunked(
     would not fit the memory budget (the 10M-user bench rung).  Peak
     RAM is one chunk's draw plus the accumulated CSR arrays; the
     workload itself is meant to be read back with
-    ``load_workload(path, mmap=True)``.  Returns the written path.
+    ``load_workload(path, mmap=True)``.
+
+    Each completed chunk is persisted atomically to
+    ``<path>.parts/chunk_<i>.npz`` and recorded in
+    ``<path>.manifest.json``; with ``resume=True`` (the default) a
+    re-run whose parameters match the manifest skips the completed
+    chunks -- bit-exact, since chunk streams are independent -- and a
+    parameter mismatch starts the draw from scratch.  The final file is
+    written atomically, then the sidecar state is removed.  Returns the
+    written path.
     """
     if num_topics <= 0 or num_subscribers <= 0:
         raise ValueError("populations must be positive")
     if chunk_subscribers <= 0:
         raise ValueError("chunk_subscribers must be positive")
+
+    path = _resolve_npz_path(path)
+    manifest_path = path + ".manifest.json"
+    parts_dir = path + ".parts"
+    params = {
+        "format_version": _FORMAT_VERSION,
+        "generator_version": GENERATOR_VERSION,
+        "num_topics": num_topics,
+        "num_subscribers": num_subscribers,
+        "mean_interest": mean_interest,
+        "rate_exponent": rate_exponent,
+        "max_rate": max_rate,
+        "popularity_exponent": popularity_exponent,
+        "message_size_bytes": message_size_bytes,
+        "seed": seed,
+        "chunk_subscribers": chunk_subscribers,
+    }
+    completed = set(_load_manifest(manifest_path, params)) if resume else set()
 
     ranks = np.arange(1, num_topics + 1, dtype=np.float64)
     rates = np.maximum(1.0, np.floor(max_rate / ranks**rate_exponent))
@@ -232,38 +411,57 @@ def save_zipf_workload_chunked(
     flat_chunks: List[np.ndarray] = []
     for chunk, lo in enumerate(range(0, num_subscribers, chunk_subscribers)):
         hi = min(lo + chunk_subscribers, num_subscribers)
-        rng = np.random.default_rng([seed if seed is not None else 0, chunk])
-        sizes = np.clip(
-            rng.poisson(mean_interest, size=hi - lo), 1, num_topics
-        ).astype(np.int64)
-        subs = np.repeat(np.arange(lo, hi, dtype=np.int64), sizes)
-        picks = rng.choice(num_topics, size=int(sizes.sum()), p=probs)
-        # Packed-key unique: per-subscriber dedup + sorted interests,
-        # exactly as the in-RAM generator does -- global subscriber ids
-        # keep the chunks' key ranges disjoint and ascending, so the
-        # concatenated flats are already subscriber-major CSR data.
-        keys = np.unique(subs * num_topics + picks)
-        counts[lo:hi] = np.bincount(
-            keys // num_topics - lo, minlength=hi - lo
-        )
-        flat_chunks.append(keys % num_topics)
+        part_path = os.path.join(parts_dir, f"chunk_{chunk}.npz")
+        if chunk in completed:
+            try:
+                with np.load(part_path, allow_pickle=False) as part:
+                    chunk_counts = np.array(
+                        verified_member(
+                            part, "counts", part_path, require_digest=True
+                        )
+                    )
+                    chunk_flat = np.array(
+                        verified_member(
+                            part, "flat", part_path, require_digest=True
+                        )
+                    )
+            except (OSError, TraceCorruptionError):
+                # A part that vanished or failed its digest is simply
+                # not completed; redraw it (same stream, same bits).
+                completed.discard(chunk)
+        if chunk not in completed:
+            chunk_counts, chunk_flat = _draw_zipf_chunk(
+                chunk, lo, hi, num_topics, mean_interest, probs, seed
+            )
+            os.makedirs(parts_dir, exist_ok=True)
+            write_npz_atomic(
+                part_path,
+                {"counts": chunk_counts, "flat": chunk_flat},
+                digest_members=("counts", "flat"),
+            )
+            completed.add(chunk)
+            with atomic_write(manifest_path, mode="w") as fh:
+                json.dump(
+                    {"params": params, "chunks": sorted(completed)}, fh
+                )
+        counts[lo:hi] = chunk_counts
+        flat_chunks.append(chunk_flat)
 
     indptr = np.zeros(num_subscribers + 1, dtype=np.int64)
     np.cumsum(counts, out=indptr[1:])
     flat = (
         np.concatenate(flat_chunks) if flat_chunks else np.empty(0, np.int64)
     )
-    writer = np.savez
-    writer(
+    write_npz_atomic(
         path,
-        version=np.int64(_FORMAT_VERSION),
-        generator_version=np.int64(GENERATOR_VERSION),
-        event_rates=rates,
-        interest_indptr=indptr,
-        interest_topics=flat,
-        message_size_bytes=np.float64(message_size_bytes),
+        _workload_members(rates, indptr, flat, message_size_bytes),
+        digest_members=_PAYLOAD_MEMBERS,
     )
-    return _resolve_npz_path(path)
+    for leftover in (manifest_path,):
+        if os.path.exists(leftover):
+            os.unlink(leftover)
+    shutil.rmtree(parts_dir, ignore_errors=True)
+    return path
 
 
 def save_workload_csv(

@@ -934,3 +934,94 @@ class TestValidatorEquivalence:
         p.assign(b, 0, [0])
         p.assign(b, 0, [0])
         self._assert_same_verdict(tiny_problem, p)
+
+
+class TestCheckpointResumeEquivalence:
+    """A killed-and-resumed churn run == the uninterrupted run, bit for bit.
+
+    The checkpoint carries the reprovisioner's complete pair state,
+    cadence counters, and the churn model's bit-generator position
+    (:mod:`repro.resilience.checkpoint`), so resuming draws exactly
+    what an undisturbed run would have drawn -- the pin is per-epoch
+    report fields, costs, placements, and final selection identity.
+    """
+
+    CONFIG = ChurnConfig(
+        unsubscribe_fraction=0.2, subscribe_fraction=0.2, rate_drift_sigma=0.1
+    )
+
+    @staticmethod
+    def _assert_same_report(got, want):
+        for field in (
+            "epoch",
+            "pairs_added",
+            "pairs_removed",
+            "pairs_moved",
+            "vms_opened",
+            "vms_closed",
+            "rebuilt",
+        ):
+            assert getattr(got, field) == getattr(want, field), field
+        assert got.cost.num_vms == want.cost.num_vms
+        assert got.cost.total_usd == want.cost.total_usd
+
+    @pytest.mark.parametrize("seed", range(8))
+    def test_snapshot_roundtrip_mid_run(self, seed, tmp_path):
+        from repro.resilience import load_checkpoint, save_checkpoint
+
+        rng = np.random.default_rng(14_000 + seed)
+        workload = edgy_workload(rng)
+        problem = churn_problem(workload, rng)
+        cadence = int(rng.choice([1, 3]))  # exercise the fresh-solve counter
+
+        ref_model = ChurnModel(workload, self.CONFIG, seed=seed)
+        ref = IncrementalReprovisioner(problem, fresh_solve_every=cadence)
+        ref_reports = [ref.step(ref_model.step()) for _ in range(6)]
+
+        model = ChurnModel(workload, self.CONFIG, seed=seed)
+        reprov = IncrementalReprovisioner(problem, fresh_solve_every=cadence)
+        reports = [reprov.step(model.step()) for _ in range(3)]
+        path = str(tmp_path / "mid.npz")
+        save_checkpoint(path, reprov, model)
+        del reprov, model  # the "kill": nothing survives but the file
+        reprov, model = load_checkpoint(path, problem.plan)
+        assert reprov.epoch == 3
+        reports += [reprov.step(model.step()) for _ in range(3)]
+
+        for got, want in zip(reports, ref_reports):
+            self._assert_same_report(got, want)
+        assert diff_placements(reprov.placement(), ref.placement()) is None
+        assert reprov.selection() == ref.selection()
+
+    @pytest.mark.parametrize("seed", range(4))
+    def test_runner_resume_matches_uninterrupted(self, seed, tmp_path):
+        from repro.experiments import run_epoch_experiment
+
+        rng = np.random.default_rng(15_000 + seed)
+        workload = edgy_workload(rng)
+        problem = churn_problem(workload, rng)
+        path = str(tmp_path / "run.npz")
+
+        ref = run_epoch_experiment(
+            workload, problem.plan, problem.tau, 6, seed=seed
+        )
+
+        first = run_epoch_experiment(
+            workload, problem.plan, problem.tau, 4, seed=seed,
+            checkpoint_path=path, checkpoint_every=2,
+        )
+        assert first.checkpoints_written == 2
+        resumed = run_epoch_experiment(
+            workload, problem.plan, problem.tau, 6, seed=seed,
+            checkpoint_path=path, resume=True,
+        )
+        assert resumed.resumed_from_epoch == 4
+        assert len(resumed.reports) == 2
+
+        reports = first.reports + resumed.reports
+        assert len(reports) == len(ref.reports) == 6
+        for got, want in zip(reports, ref.reports):
+            self._assert_same_report(got, want)
+        assert diff_placements(
+            resumed.reprovisioner.placement(), ref.reprovisioner.placement()
+        ) is None

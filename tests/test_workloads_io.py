@@ -2,15 +2,19 @@
 
 from __future__ import annotations
 
+import os
+
 import numpy as np
 import pytest
 
 from repro.core import Workload
 from repro.workloads import (
     GENERATOR_VERSION,
+    TraceCorruptionError,
     load_workload,
     sample_subscribers,
     save_workload,
+    save_zipf_workload_chunked,
     uniform_workload,
     zipf_workload,
 )
@@ -48,14 +52,41 @@ class TestIO:
 
 
 class TestFormatVersions:
-    """The versioned on-disk format: v2 header, v1 legacy, mmap gating."""
+    """The versioned on-disk format: v3 header, v2/v1 legacy, mmap gating."""
 
-    def test_v2_header_fields(self, tmp_path, small_zipf):
+    def test_v3_header_fields(self, tmp_path, small_zipf):
         path = save_workload(small_zipf, tmp_path / "trace")
         with np.load(path) as data:
-            assert int(data["version"]) == 2
+            assert int(data["version"]) == 3
             assert int(data["generator_version"]) == GENERATOR_VERSION
             assert "interest_indptr" in data
+            for member in (
+                "event_rates",
+                "interest_indptr",
+                "interest_topics",
+                "message_size_bytes",
+            ):
+                assert "digest_" + member in data.files
+
+    def test_v2_file_still_loads(self, tmp_path, small_zipf):
+        # Hand-build a digest-less v2 file: payload members, no CRCs.
+        path = tmp_path / "v2.npz"
+        np.savez(
+            path,
+            version=np.int64(2),
+            generator_version=np.int64(GENERATOR_VERSION),
+            event_rates=small_zipf.event_rates,
+            interest_indptr=small_zipf.interest_indptr,
+            interest_topics=small_zipf.interest_topics,
+            message_size_bytes=np.float64(small_zipf.message_size_bytes),
+        )
+        loaded = load_workload(path)
+        assert np.array_equal(loaded.interest_topics, small_zipf.interest_topics)
+        mapped = load_workload(path, mmap=True)
+        assert np.array_equal(mapped.event_rates, small_zipf.event_rates)
+        # But an explicit verify=True has nothing to check against.
+        with pytest.raises(TraceCorruptionError, match="digest_"):
+            load_workload(path, verify=True)
 
     def test_v1_legacy_file_still_loads(self, tmp_path, small_zipf):
         # Hand-build a pre-versioning file: compressed, offsets key.
@@ -160,3 +191,198 @@ class TestSyntheticGenerators:
             uniform_workload(10, 0)
         with pytest.raises(ValueError):
             uniform_workload(10, 10, rate_low=0)
+
+
+def _corrupt_member(path, member, mutate):
+    """Rewrite an npz with one member mutated, digests left stale."""
+    data = dict(np.load(path))
+    arr = np.array(data[member])
+    mutate(arr)
+    data[member] = arr
+    np.savez(path, **data)
+
+
+class TestTraceIntegrity:
+    """v3 digests: every member's corruption is caught, by name."""
+
+    MEMBERS = (
+        "event_rates",
+        "interest_indptr",
+        "interest_topics",
+        "message_size_bytes",
+    )
+
+    @pytest.mark.parametrize("member", MEMBERS)
+    def test_corrupt_member_detected_by_name(self, tmp_path, small_zipf, member):
+        path = save_workload(small_zipf, tmp_path / "trace")
+
+        def bump(arr):
+            arr.flat[0] = arr.flat[0] + 1  # works for 0-d scalars too
+
+        _corrupt_member(path, member, bump)
+        with pytest.raises(TraceCorruptionError, match=member):
+            load_workload(path)
+
+    @pytest.mark.parametrize("member", MEMBERS)
+    def test_missing_member_detected_by_name(self, tmp_path, small_zipf, member):
+        path = save_workload(small_zipf, tmp_path / "trace")
+        data = dict(np.load(path))
+        del data[member]
+        np.savez(path, **data)
+        with pytest.raises(TraceCorruptionError, match=member):
+            load_workload(path)
+
+    def test_verify_false_skips_the_check(self, tmp_path, small_zipf):
+        path = save_workload(small_zipf, tmp_path / "trace")
+        _corrupt_member(path, "event_rates", lambda a: a.__setitem__(0, 1e9))
+        loaded = load_workload(path, verify=False)
+        assert loaded.event_rates[0] == 1e9
+
+    def test_mmap_lazy_by_default_but_verify_opt_in(self, tmp_path, small_zipf):
+        path = save_workload(small_zipf, tmp_path / "trace")
+        _corrupt_member(path, "event_rates", lambda a: a.__setitem__(0, 1e9))
+        # Default mmap load trusts the file (lazy)...
+        mapped = load_workload(path, mmap=True)
+        assert mapped.event_rates[0] == 1e9
+        # ...verify=True streams the members through the CRC.
+        with pytest.raises(TraceCorruptionError, match="event_rates"):
+            load_workload(path, mmap=True, verify=True)
+
+    def test_mmap_verify_clean_file_passes(self, tmp_path, small_zipf):
+        path = save_workload(small_zipf, tmp_path / "trace")
+        mapped = load_workload(path, mmap=True, verify=True)
+        assert np.array_equal(mapped.event_rates, small_zipf.event_rates)
+
+    def test_truncated_v1_raises_structured_error(self, tmp_path, small_zipf):
+        path = tmp_path / "legacy.npz"
+        np.savez_compressed(
+            path,
+            version=np.int64(1),
+            event_rates=small_zipf.event_rates,
+            interest_topics=small_zipf.interest_topics,
+            message_size_bytes=np.float64(small_zipf.message_size_bytes),
+        )
+        with pytest.raises(TraceCorruptionError, match="interest_offsets"):
+            load_workload(path)
+        with pytest.raises(TraceCorruptionError, match="v3"):
+            load_workload(path)
+
+    def test_v1_mmap_hint_names_v3(self, tmp_path, small_zipf):
+        path = tmp_path / "legacy.npz"
+        np.savez_compressed(
+            path,
+            version=np.int64(1),
+            event_rates=small_zipf.event_rates,
+            interest_offsets=small_zipf.interest_indptr,
+            interest_topics=small_zipf.interest_topics,
+            message_size_bytes=np.float64(small_zipf.message_size_bytes),
+        )
+        with pytest.raises(ValueError, match="v3"):
+            load_workload(path, mmap=True)
+
+
+class TestChunkedResume:
+    """Interrupted chunked generation resumes bit-exactly from parts."""
+
+    ARGS = dict(mean_interest=4.0, seed=3, chunk_subscribers=64)
+
+    def _workloads_equal(self, a, b):
+        return (
+            np.array_equal(a.event_rates, b.event_rates)
+            and np.array_equal(a.interest_indptr, b.interest_indptr)
+            and np.array_equal(a.interest_topics, b.interest_topics)
+            and a.message_size_bytes == b.message_size_bytes
+        )
+
+    def _crash_at_chunk(self, monkeypatch, crash_chunk):
+        import repro.workloads.io as io_mod
+
+        real = io_mod._draw_zipf_chunk
+        state = {"armed": True}
+
+        def flaky(chunk, *args, **kwargs):
+            if state["armed"] and chunk == crash_chunk:
+                state["armed"] = False
+                raise RuntimeError("simulated crash")
+            return real(chunk, *args, **kwargs)
+
+        monkeypatch.setattr(io_mod, "_draw_zipf_chunk", flaky)
+        return state
+
+    def test_crash_leaves_no_final_file_then_resumes(
+        self, tmp_path, monkeypatch
+    ):
+        ref = load_workload(
+            save_zipf_workload_chunked(tmp_path / "ref", 30, 200, **self.ARGS)
+        )
+        target = tmp_path / "out"
+        self._crash_at_chunk(monkeypatch, crash_chunk=2)
+        with pytest.raises(RuntimeError, match="simulated crash"):
+            save_zipf_workload_chunked(target, 30, 200, **self.ARGS)
+        final = str(target) + ".npz"
+        assert not os.path.exists(final)  # atomic: no half-valid trace
+        assert os.path.exists(final + ".manifest.json")
+        assert os.path.exists(os.path.join(final + ".parts", "chunk_0.npz"))
+        # The re-run skips completed chunks and matches an uninterrupted
+        # draw bit for bit; sidecar state is cleaned up on success.
+        path = save_zipf_workload_chunked(target, 30, 200, **self.ARGS)
+        assert self._workloads_equal(load_workload(path), ref)
+        assert not os.path.exists(final + ".manifest.json")
+        assert not os.path.exists(final + ".parts")
+
+    def test_resumed_chunks_are_actually_reused(self, tmp_path, monkeypatch):
+        import repro.workloads.io as io_mod
+
+        target = tmp_path / "out"
+        self._crash_at_chunk(monkeypatch, crash_chunk=2)
+        with pytest.raises(RuntimeError):
+            save_zipf_workload_chunked(target, 30, 200, **self.ARGS)
+
+        drawn = []
+        real = io_mod._draw_zipf_chunk
+
+        def counting(chunk, *args, **kwargs):
+            drawn.append(chunk)
+            return real(chunk, *args, **kwargs)
+
+        monkeypatch.setattr(io_mod, "_draw_zipf_chunk", counting)
+        save_zipf_workload_chunked(target, 30, 200, **self.ARGS)
+        assert 0 not in drawn and 1 not in drawn  # completed parts reused
+        assert 2 in drawn
+
+    def test_param_mismatch_discards_partial_state(
+        self, tmp_path, monkeypatch
+    ):
+        target = tmp_path / "out"
+        self._crash_at_chunk(monkeypatch, crash_chunk=2)
+        with pytest.raises(RuntimeError):
+            save_zipf_workload_chunked(target, 30, 200, **self.ARGS)
+        # Different seed: the stale manifest must not leak chunks in.
+        args = dict(self.ARGS, seed=9)
+        path = save_zipf_workload_chunked(target, 30, 200, **args)
+        ref = load_workload(
+            save_zipf_workload_chunked(tmp_path / "ref", 30, 200, **args)
+        )
+        assert self._workloads_equal(load_workload(path), ref)
+
+    def test_interrupted_save_workload_preserves_old_file(
+        self, tmp_path, small_zipf, monkeypatch
+    ):
+        import repro.resilience.integrity as integrity_mod
+
+        path = save_workload(small_zipf, tmp_path / "trace")
+        before = open(path, "rb").read()
+
+        def explode(*args, **kwargs):
+            raise OSError("disk full")
+
+        monkeypatch.setattr(np, "savez", explode)
+        with pytest.raises(OSError, match="disk full"):
+            save_workload(small_zipf, path)
+        assert open(path, "rb").read() == before  # old file untouched
+        leftovers = [
+            name
+            for name in os.listdir(tmp_path)
+            if name.endswith(".tmp")
+        ]
+        assert leftovers == []  # no tmp debris either

@@ -81,6 +81,7 @@ GENERATORS: "Dict[str, Tuple[str, ...]]" = {
 RNG_SEAM_PREFIXES: "Tuple[str, ...]" = (
     "src/repro/workloads/",
     "src/repro/dynamic/churn.py",
+    "src/repro/resilience/",
     "src/repro/selection/random_.py",
     "src/repro/simulation/engine.py",
     "scripts/",

@@ -1,12 +1,13 @@
 """EK01 env-knob registry.
 
 Every ``MCSS_*`` environment knob read anywhere in the scanned trees
-(``os.environ.get``/``os.environ[...]``/``os.getenv``) must be
-documented in docs/BENCHMARKS.md, and every ``MCSS_*`` token the doc
-mentions must actually be read somewhere -- the two-directional check
-ROADMAP.md asked for ("link existence, not accuracy").  Reads are
-detected on string literals; a knob name built dynamically cannot be
-checked and should not exist.
+(``os.environ.get``/``os.environ[...]``/``os.getenv``, or the
+validated helpers ``env_int``/``env_float``/``env_str`` from
+``repro.resilience.knobs``) must be documented in docs/BENCHMARKS.md,
+and every ``MCSS_*`` token the doc mentions must actually be read
+somewhere -- the two-directional check ROADMAP.md asked for ("link
+existence, not accuracy").  Reads are detected on string literals; a
+knob name built dynamically cannot be checked and should not exist.
 """
 
 from __future__ import annotations
@@ -35,6 +36,11 @@ def _literal_knob(node: ast.AST, prefix: str) -> "str | None":
     return None
 
 
+#: The validated read helpers of repro.resilience.knobs: a literal
+#: first argument at their call sites is an env-knob read.
+_KNOB_HELPERS = ("env_int", "env_float", "env_str")
+
+
 def collect_env_reads(ctx: Context) -> "List[Tuple[str, int, str]]":
     """All (path, line, knob) env reads of prefixed knobs in scanned code."""
     prefix = ctx.config.env_knob_prefix
@@ -49,6 +55,10 @@ def collect_env_reads(ctx: Context) -> "List[Tuple[str, int, str]]":
                 fn = _dotted(node.func)
                 if fn.endswith("os.environ.get") or fn == "os.getenv" or (
                     fn.endswith(".environ.get") or fn == "getenv"
+                ):
+                    knob = _literal_knob(node.args[0], prefix)
+                elif fn in _KNOB_HELPERS or fn.endswith(
+                    tuple("." + h for h in _KNOB_HELPERS)
                 ):
                     knob = _literal_knob(node.args[0], prefix)
             elif isinstance(node, ast.Subscript):
