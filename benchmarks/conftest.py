@@ -1,25 +1,40 @@
 """Shared setup for the per-figure benchmarks.
 
-Every benchmark regenerates one figure of the paper at a laptop-scale
-configuration.  Set ``MCSS_BENCH_USERS`` to scale the traces up or
-down (default 8000 users; the paper ran millions on a 132 GB server).
+Every benchmark regenerates one figure of the paper at a chosen scale.
+The scale is **opt-in**: set ``MCSS_BENCH_USERS`` (the paper ran
+millions on a 132 GB server; CI's bench-smoke uses 2000) or the whole
+directory skips cleanly -- an accidental bare ``pytest benchmarks/``
+reports skips instead of burning minutes at a default nobody chose.
+``MCSS_BENCH_SEED`` picks the workload seed (default 42).
 
-Run:  pytest benchmarks/ --benchmark-only -s
+Run:  MCSS_BENCH_USERS=8000 pytest benchmarks/ --benchmark-only -s
 (the -s shows the rendered tables next to the timings)
 """
 
 from __future__ import annotations
 
-import os
-
 import pytest
 
 from repro.experiments import ExperimentScale, make_plan, make_trace
+from repro.resilience.knobs import env_int
 
-BENCH_USERS = int(os.environ.get("MCSS_BENCH_USERS", "8000"))
-BENCH_SEED = int(os.environ.get("MCSS_BENCH_SEED", "42"))
+BENCH_USERS = env_int("MCSS_BENCH_USERS", 0, minimum=0)
+BENCH_SEED = env_int("MCSS_BENCH_SEED", 42)
 
-SCALE = ExperimentScale(num_users=BENCH_USERS, seed=BENCH_SEED, target_vms=120)
+SCALE = ExperimentScale(
+    num_users=BENCH_USERS or 8000, seed=BENCH_SEED, target_vms=120
+)
+
+_NEEDS_SCALE = pytest.mark.skip(
+    reason="benchmarks are opt-in: set MCSS_BENCH_USERS to pick a scale"
+)
+
+
+def pytest_collection_modifyitems(items):
+    if BENCH_USERS:
+        return
+    for item in items:
+        item.add_marker(_NEEDS_SCALE)
 
 
 @pytest.fixture(scope="session")

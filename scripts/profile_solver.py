@@ -48,6 +48,7 @@ Usage::
 
     PYTHONPATH=src python scripts/profile_solver.py [num_users] [tau]
     PYTHONPATH=src python scripts/profile_solver.py --out-of-core [num_users]
+    PYTHONPATH=src python scripts/profile_solver.py --serve [num_users]
 
     num_users  defaults to $MCSS_PROFILE_USERS or 100000
     tau        defaults to 100
@@ -56,6 +57,12 @@ Usage::
 generation straight to a versioned ``.npz``, mmap-backed reload, and a
 sharded solve, with the ``tracemalloc`` peak recorded -- no loop
 referees, see docs/BENCHMARKS.md.
+
+``--serve`` (default 1M users) is the serving rung: the micro-epoch
+serving layer under ``MCSS_SERVE_EPOCHS`` epochs of steady churn, with
+exact p50/p95/p99 micro-epoch latency and throughput recorded as a
+``"mode": "serving"`` trajectory entry plus ``serve_metrics.json``,
+gated by ``MCSS_SERVE_TARGET`` (p99 seconds; 0 disables).
 
 Pass a smaller ``num_users`` (e.g. 2000, as the CI smoke job does) for
 a quick run; the speedup factors are printed either way.  Set
@@ -112,6 +119,7 @@ from repro.workloads import (
 )
 
 BENCH_PATH = Path(__file__).resolve().parent.parent / "BENCH_stage2.json"
+SERVE_METRICS_PATH = BENCH_PATH.parent / "serve_metrics.json"
 
 
 def _timed(fn, repeats: int = 3):
@@ -463,6 +471,137 @@ def _out_of_core(num_users: int) -> int:
     return 0
 
 
+def _serve(num_users: int) -> int:
+    """The serving rung: micro-epoch churn under SLO metering.
+
+    Builds a zipf workload, stands up a
+    :class:`~repro.serving.MicroEpochService` around it, and serves
+    ``MCSS_SERVE_EPOCHS`` micro-epochs of subscribe/unsubscribe churn
+    (no rate drift: the steady-churn regime where the incremental
+    group index amortizes the per-epoch sorts away).  Records exact
+    p50/p95/p99 micro-epoch latency and throughput as a
+    ``"mode": "serving"`` entry in ``BENCH_stage2.json``, writes the
+    full metrics snapshot to ``serve_metrics.json`` (the CI artifact),
+    and asserts the 3 GB traced-memory bound.  ``MCSS_SERVE_TARGET``
+    gates the exit code on the p99 bound (seconds; 0 disables).
+
+    The broker-runtime traffic replay runs only below 250k subscribers:
+    :class:`~repro.broker.cluster.BrokerCluster` materializes per-pair
+    Python state, which at 1M subscribers (~8M pairs) would threaten
+    the traced-memory bound without changing the serving verdict.
+    """
+    from repro.dynamic import ChurnConfig
+    from repro.experiments.serve import run_serving_experiment
+    from repro.resilience.knobs import env_float, env_int
+    from repro.serving import ServingConfig
+
+    num_topics = max(100, num_users // 50)
+    tau = 100.0
+    micro_epochs = env_int("MCSS_SERVE_EPOCHS", 8, minimum=1)
+    p99_target = env_float("MCSS_SERVE_TARGET", 0.0, minimum=0.0)
+
+    tracemalloc.start()
+    try:
+        print(
+            f"building zipf workload: {num_users} subscribers, "
+            f"{num_topics} topics ..."
+        )
+        t0 = time.perf_counter()
+        workload = zipf_workload(num_topics, num_users, mean_interest=8.0, seed=7)
+        print(f"  built in {time.perf_counter() - t0:.2f}s: {workload!r}")
+        capacity = (
+            max(
+                2.5 * float(workload.event_rates.max()),
+                float(workload.event_rates.sum()) / 8.0,
+            )
+            * workload.message_size_bytes
+        )
+        plan = PricingPlan(
+            instance=get_instance("c3.large"),
+            period_hours=1.0,
+            bandwidth_cost=LinearBandwidthCost(0.12),
+            vm_cost=LinearVMCost(10.0),
+            capacity_bytes_override=float(capacity),
+        )
+
+        print(f"serving {micro_epochs} micro-epochs of steady churn ...")
+        t0 = time.perf_counter()
+        result = run_serving_experiment(
+            workload,
+            plan,
+            tau,
+            micro_epochs,
+            churn_config=ChurnConfig(
+                unsubscribe_fraction=0.01,
+                subscribe_fraction=0.01,
+                rate_drift_sigma=0.0,
+            ),
+            seed=11,
+            serving_config=ServingConfig(
+                traffic_every=micro_epochs if num_users <= 250_000 else 0,
+            ),
+        )
+        serve_s = time.perf_counter() - t0
+        peak = tracemalloc.get_traced_memory()[1]
+    finally:
+        tracemalloc.stop()
+
+    print(result.render())
+    print(f"  served in {serve_s:.1f}s wall (includes the epoch-0 solve)")
+    print(f"  peak traced memory: {peak / 1e9:.2f} GB")
+    assert peak < 3e9, (
+        f"serving rung exceeded the 3 GB traced-memory bound: {peak} B"
+    )
+
+    metrics = dict(result.metrics)
+    metrics["peak_traced_bytes"] = float(peak)
+    SERVE_METRICS_PATH.write_text(
+        json.dumps(metrics, indent=2, sort_keys=True) + "\n"
+    )
+    print(f"metrics snapshot written to {SERVE_METRICS_PATH.name}")
+
+    last = result.reports[-1].report if result.reports else None
+    _append_bench_entry(
+        {
+            "timestamp": time.strftime("%Y-%m-%dT%H:%M:%SZ", time.gmtime()),
+            "mode": "serving",
+            "num_users": num_users,
+            "num_topics": num_topics,
+            "tau": tau,
+            "micro_epochs": int(metrics["serve.micro_epochs"]),
+            "ops_total": int(metrics["serve.ops"]),
+            "moves_total": int(metrics["serve.moves"]),
+            "epoch_p50_s": round(metrics["serve.epoch_latency.p50_s"], 6),
+            "epoch_p95_s": round(metrics["serve.epoch_latency.p95_s"], 6),
+            "epoch_p99_s": round(metrics["serve.epoch_latency.p99_s"], 6),
+            "epoch_mean_s": round(metrics["serve.epoch_latency.mean_s"], 6),
+            "ops_per_s": round(metrics["serve.ops_per_s"], 1),
+            "moves_per_s": round(metrics["serve.moves_per_s"], 1),
+            "queue_depth": int(metrics["serve.queue_depth"]),
+            "cost_drift": round(metrics["serve.drift"], 6),
+            "num_vms": int(metrics["serve.num_vms"]),
+            "total_cost_usd": round(metrics["serve.cost_usd"], 4),
+            "serve_wall_s": round(serve_s, 3),
+            "peak_traced_bytes": int(peak),
+            "rebuilds": int(metrics["serve.rebuilds"]),
+            "final_epoch_rebuilt": bool(last.rebuilt) if last else False,
+        }
+    )
+    print(f"appended serving trajectory entry to {BENCH_PATH.name}")
+
+    if p99_target > 0:
+        p99 = metrics["serve.epoch_latency.p99_s"]
+        ok = p99 <= p99_target
+        verdict = "PASS" if ok else "BELOW TARGET"
+        print(
+            f"acceptance (micro-epoch p99 <= {p99_target:.3f}s: "
+            f"{p99:.3f}s): {verdict}"
+        )
+        return 0 if ok else 1
+    print("acceptance: MCSS_SERVE_TARGET unset or 0 -- p99 gate disabled")
+    return 0
+
+
 def _append_bench_entry(entry: dict) -> None:
     history = []
     if BENCH_PATH.exists():
@@ -479,6 +618,8 @@ def _append_bench_entry(entry: dict) -> None:
 def main(argv) -> int:
     if len(argv) > 1 and argv[1] == "--out-of-core":
         return _out_of_core(int(argv[2]) if len(argv) > 2 else 10_000_000)
+    if len(argv) > 1 and argv[1] == "--serve":
+        return _serve(int(argv[2]) if len(argv) > 2 else 1_000_000)
     num_users = int(argv[1]) if len(argv) > 1 else int(
         os.environ.get("MCSS_PROFILE_USERS", "100000")
     )

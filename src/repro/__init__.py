@@ -67,7 +67,7 @@ from .selection import (
 )
 from .solver import MCSSSolution, MCSSSolver
 
-__version__ = "0.5.0"
+__version__ = "0.6.0"
 
 __all__ = [
     "best_lower_bound",

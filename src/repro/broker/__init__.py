@@ -7,7 +7,7 @@ metrics, and an M/G/1 latency/utilization view of the fleet.
 
 from .cluster import BrokerCluster, ClusterLatencyReport
 from .latency import LatencyModel, VMLatency
-from .metrics import Counter, Gauge, Histogram, MetricsRegistry
+from .metrics import Counter, Gauge, Histogram, LatencyRecorder, MetricsRegistry
 from .node import BrokerNode, NodeOverloadError
 
 __all__ = [
@@ -18,6 +18,7 @@ __all__ = [
     "Counter",
     "Gauge",
     "Histogram",
+    "LatencyRecorder",
     "MetricsRegistry",
     "BrokerNode",
     "NodeOverloadError",

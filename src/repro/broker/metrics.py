@@ -12,7 +12,13 @@ import math
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional
 
-__all__ = ["Counter", "Gauge", "Histogram", "MetricsRegistry"]
+__all__ = [
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "LatencyRecorder",
+    "MetricsRegistry",
+]
 
 
 @dataclass
@@ -94,6 +100,79 @@ class Histogram:
             if seen >= target and bucket:
                 return float(2**idx)
         return self._max
+
+
+class LatencyRecorder:
+    """Exact-quantile latency recorder with an injectable clock.
+
+    :class:`Histogram` answers order-of-magnitude questions; SLO gates
+    need exact percentiles, so this keeps every sample (bounded -- one
+    per micro-epoch, not per message) and computes nearest-rank
+    quantiles over the sorted list.  The clock is injected so tier-1
+    tests can drive it deterministically: ``time()`` marks a start,
+    ``stop()`` records the elapsed interval as a sample.
+    """
+
+    def __init__(self, clock=None) -> None:
+        import time as _time
+
+        self._clock = clock if clock is not None else _time.perf_counter
+        self._samples: List[float] = []
+        self._sorted: Optional[List[float]] = None
+        self._sum = 0.0
+        self._start: Optional[float] = None
+
+    def start(self) -> None:
+        """Mark the start of an interval on the injected clock."""
+        self._start = self._clock()
+
+    def stop(self) -> float:
+        """Record the interval since :meth:`start`; returns it."""
+        if self._start is None:
+            raise RuntimeError("stop() without a matching start()")
+        elapsed = self._clock() - self._start
+        self._start = None
+        self.observe(elapsed)
+        return elapsed
+
+    def observe(self, seconds: float) -> None:
+        """Record one latency sample directly."""
+        if seconds < 0:
+            raise ValueError("samples must be non-negative")
+        self._samples.append(float(seconds))
+        self._sorted = None
+        self._sum += seconds
+
+    @property
+    def count(self) -> int:
+        """Number of samples recorded."""
+        return len(self._samples)
+
+    @property
+    def mean(self) -> float:
+        """Mean sample, 0 when empty."""
+        return self._sum / len(self._samples) if self._samples else 0.0
+
+    @property
+    def total(self) -> float:
+        """Sum of all samples."""
+        return self._sum
+
+    @property
+    def max(self) -> float:
+        """Largest sample, 0 when empty."""
+        return max(self._samples) if self._samples else 0.0
+
+    def quantile(self, q: float) -> float:
+        """Exact nearest-rank quantile (q in [0, 1]); 0 when empty."""
+        if not 0 <= q <= 1:
+            raise ValueError("quantile must be in [0, 1]")
+        if not self._samples:
+            return 0.0
+        if self._sorted is None:
+            self._sorted = sorted(self._samples)
+        rank = max(0, math.ceil(q * len(self._sorted)) - 1)
+        return self._sorted[rank]
 
 
 class MetricsRegistry:

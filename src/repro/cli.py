@@ -10,7 +10,10 @@ Subcommands:
 * ``mcss analyze --trace twitter`` -- print trace statistics;
 * ``mcss churn --epochs 100 --checkpoint run.npz --checkpoint-every 10``
   -- run a churned epoch experiment with atomic checkpoints; add
-  ``--resume`` to continue a killed run bit-exactly.
+  ``--resume`` to continue a killed run bit-exactly;
+* ``mcss serve --epochs 64 --slo-p99 0.5 --metrics-out m.json`` -- run
+  the micro-epoch serving loop with SLO metrics (exit 1 on an SLO
+  miss); supports the same checkpoint/resume flags as ``churn``.
 """
 
 from __future__ import annotations
@@ -84,6 +87,48 @@ def build_parser() -> argparse.ArgumentParser:
         help="persist run state every K epochs (0 = never)",
     )
     churn.add_argument(
+        "--resume", action="store_true",
+        help="resume bit-exactly from --checkpoint if it exists",
+    )
+
+    serve = sub.add_parser(
+        "serve", help="run the micro-epoch serving loop (SLO metrics)"
+    )
+    serve.add_argument("--trace", default="spotify", choices=("spotify", "twitter"))
+    serve.add_argument("--tau", type=float, default=100.0)
+    serve.add_argument("--instance", default="c3.large")
+    serve.add_argument("--users", type=int, default=None)
+    serve.add_argument("--seed", type=int, default=None)
+    serve.add_argument("--epochs", type=int, default=16, help="micro-epochs")
+    serve.add_argument(
+        "--churn-seed", type=int, default=0, help="churn stream seed"
+    )
+    serve.add_argument(
+        "--fresh-solve-every", type=int, default=8, metavar="K",
+        help="fresh reference solve cadence (1 = referee behavior)",
+    )
+    serve.add_argument(
+        "--slo-p99", type=float, default=0.0, metavar="SECONDS",
+        help="p99 micro-epoch latency bound; exit 1 when missed (0 = off)",
+    )
+    serve.add_argument(
+        "--traffic-every", type=int, default=0, metavar="K",
+        help="replay traffic against the live placement every K "
+        "micro-epochs (0 = never)",
+    )
+    serve.add_argument(
+        "--metrics-out", default=None, metavar="PATH",
+        help="write the final metrics snapshot as JSON",
+    )
+    serve.add_argument(
+        "--checkpoint", default=None, metavar="PATH",
+        help="checkpoint file (.npz), written atomically",
+    )
+    serve.add_argument(
+        "--checkpoint-every", type=int, default=0, metavar="K",
+        help="persist run state every K micro-epochs (0 = never)",
+    )
+    serve.add_argument(
         "--resume", action="store_true",
         help="resume bit-exactly from --checkpoint if it exists",
     )
@@ -162,6 +207,40 @@ def _cmd_churn(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_serve(args: argparse.Namespace) -> int:
+    import json
+
+    from .experiments import run_serving_experiment
+    from .serving import ServingConfig
+
+    scale = _scale(args)
+    trace = make_trace(args.trace, scale)
+    plan = make_plan(args.instance, trace.workload, scale)
+    print(trace.describe())
+    config = ServingConfig(
+        fresh_solve_every=args.fresh_solve_every,
+        checkpoint_path=args.checkpoint,
+        checkpoint_every=args.checkpoint_every,
+        slo_p99_seconds=args.slo_p99,
+        traffic_every=args.traffic_every,
+    )
+    result = run_serving_experiment(
+        trace.workload,
+        plan,
+        args.tau,
+        args.epochs,
+        seed=args.churn_seed,
+        serving_config=config,
+        resume=args.resume,
+    )
+    print(result.render())
+    if args.metrics_out:
+        with open(args.metrics_out, "w", encoding="utf-8") as fh:
+            json.dump(result.metrics, fh, indent=2, sort_keys=True)
+        print(f"metrics written to {args.metrics_out}")
+    return 1 if result.slo_met is False else 0
+
+
 def _cmd_analyze(args: argparse.Namespace) -> int:
     trace = make_trace(args.trace, _scale(args))
     print(trace.describe())
@@ -186,6 +265,8 @@ def main(argv: Optional[List[str]] = None) -> int:
         return _cmd_solve(args)
     if args.command == "churn":
         return _cmd_churn(args)
+    if args.command == "serve":
+        return _cmd_serve(args)
     if args.command == "analyze":
         return _cmd_analyze(args)
     raise AssertionError(f"unhandled command {args.command!r}")

@@ -37,7 +37,14 @@ sorted subscriber-major -- and runs each epoch as whole-array passes:
   over a maintained score vector (``free + capacity * hosts``) instead
   of a Python rescan of every VM that re-sums its table;
 * the placement is materialized on demand via
-  :meth:`Placement.from_pair_arrays`.
+  :meth:`Placement.from_pair_arrays`;
+* both sort orders -- the canonical ``(subscriber, topic)`` table and
+  the ``(vm, topic)`` group index -- are **maintained across epochs**
+  by sorted merges (:mod:`repro.dynamic.group_index`): kept rows stay
+  sorted, only the added rows are sorted, and the per-epoch
+  O(P log P) lexsorts amortize away under micro-epoch churn while the
+  resulting permutations stay bit-identical to the lexsorts they
+  replace (both key sets are total orders).
 
 The per-epoch **fresh solve** the old code paid just to measure drift
 is gated: a vectorized Algorithm-5 lower bound prices the epoch in
@@ -74,6 +81,7 @@ from ..core import MCSSProblem, Pair, PairSelection, Placement, SolutionCost
 from ..core.segsearch import sorted_member as _sorted_member
 from ..selection import GreedySelectPairs
 from ..solver import MCSSSolver
+from .group_index import advance_orders
 
 __all__ = [
     "EpochReport",
@@ -209,6 +217,11 @@ class IncrementalReprovisioner:
         """Epochs stepped so far (0 before the first :meth:`step`)."""
         return self._epoch
 
+    @property
+    def num_vms(self) -> int:
+        """Current fleet size (without materializing the placement)."""
+        return self._num_vms
+
     def snapshot(self) -> dict:
         """The complete mutable state as a dict of arrays and scalars.
 
@@ -267,6 +280,9 @@ class IncrementalReprovisioner:
         inst._num_vms = int(snapshot["num_vms"])
         if not (inst._p_v.shape == inst._p_t.shape == inst._p_vm.shape):
             raise ValueError("snapshot pair arrays disagree in length")
+        # Derived state: the group-index permutation is rebuilt rather
+        # than persisted, keeping the checkpoint format unchanged.
+        inst._bt_perm = np.lexsort((inst._p_t, inst._p_vm))
         recomputed = inst._used_bytes()
         stored = np.asarray(snapshot["used_bytes"], dtype=np.float64)
         if stored.shape != recomputed.shape or not np.allclose(
@@ -373,11 +389,10 @@ class IncrementalReprovisioner:
         kept_keys = old_keys[~_sorted_member(removed_keys, old_keys)]
 
         # ---- re-price + (vm, topic) group index ----------------------
-        order_bt = (
-            np.lexsort((self._p_t, self._p_vm))
-            if self._p_v.size
-            else np.empty(0, dtype=np.int64)
-        )
+        # Maintained incrementally across epochs (see group_index.py):
+        # identical to np.lexsort((self._p_t, self._p_vm)) because the
+        # (vm, topic, subscriber) keys form a total order.
+        order_bt = self._bt_perm
         s_vm = self._p_vm[order_bt]
         s_t = self._p_t[order_bt]
         if s_vm.size:
@@ -480,18 +495,30 @@ class IncrementalReprovisioner:
         )
 
         # ---- rebuild the pair arrays + close empty VMs ---------------
+        # Kept rows are already sorted in both orders, so the canonical
+        # (subscriber, topic) table and the (vm, topic) group index are
+        # advanced by sorted merges instead of full lexsorts -- the two
+        # O(P log P) sorts amortize away under micro-epoch churn.
         keep_mask = ~drop
-        p_v = np.concatenate([self._p_v[keep_mask], place_v])
-        p_t = np.concatenate([self._p_t[keep_mask], place_t])
-        p_vm = np.concatenate([self._p_vm[keep_mask], placed_vm])
-        order_vt = np.lexsort((p_t, p_v))
-        self._p_v, self._p_t = p_v[order_vt], p_t[order_vt]
-        self._p_vm = p_vm[order_vt]
+        kept_rank = np.cumsum(keep_mask) - 1
+        sel = keep_mask[order_bt]
+        kept_bt = kept_rank[order_bt[sel]]
+        self._p_v, self._p_t, self._p_vm, self._bt_perm = advance_orders(
+            self._p_v[keep_mask],
+            self._p_t[keep_mask],
+            self._p_vm[keep_mask],
+            kept_bt,
+            place_v,
+            place_t,
+            placed_vm,
+        )
         total_vms = self._num_vms
         pair_counts = np.bincount(self._p_vm, minlength=total_vms)
         live = pair_counts > 0
         closed = int(total_vms - int(live.sum()))
         if closed:
+            # Monotone remap: relative VM order is preserved, so the
+            # maintained group-index permutation stays valid.
             remap = np.cumsum(live) - 1
             self._p_vm = remap[self._p_vm]
         self._num_vms = int(live.sum())
@@ -627,6 +654,7 @@ class IncrementalReprovisioner:
         self._p_t = p_t[order]
         self._p_vm = p_vm[order]
         self._num_vms = placement.num_vms
+        self._bt_perm = np.lexsort((self._p_t, self._p_vm))
 
 
 class LoopIncrementalReprovisioner:

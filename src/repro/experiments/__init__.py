@@ -10,6 +10,7 @@ from .config import (
 )
 from .epochs import EpochRunResult, run_epoch_experiment
 from .figures import FIGURES, describe_figures, run_figure
+from .serve import ServeRunResult, run_serving_experiment
 from .ladder import LADDER_VARIANTS, LadderCell, LadderResult, run_cost_ladder
 from .runtime import (
     Stage1RuntimeResult,
@@ -31,6 +32,8 @@ __all__ = [
     "make_trace",
     "EpochRunResult",
     "run_epoch_experiment",
+    "ServeRunResult",
+    "run_serving_experiment",
     "FIGURES",
     "describe_figures",
     "run_figure",

@@ -17,7 +17,12 @@ Four small substrates, threaded through the sharded solve end to end:
 See the "Failure model & recovery" section of docs/ARCHITECTURE.md.
 """
 
-from .checkpoint import CHECKPOINT_VERSION, load_checkpoint, save_checkpoint
+from .checkpoint import (
+    CHECKPOINT_VERSION,
+    load_checkpoint,
+    load_serving_state,
+    save_checkpoint,
+)
 from .faults import FAULT_KINDS, FaultPlan, FaultSpec
 from .integrity import (
     TraceCorruptionError,
@@ -51,6 +56,7 @@ __all__ = [
     "env_int",
     "env_str",
     "load_checkpoint",
+    "load_serving_state",
     "member_digest",
     "save_checkpoint",
     "supervised_map",

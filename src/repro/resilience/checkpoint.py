@@ -24,7 +24,12 @@ import numpy as np
 
 from .integrity import verified_member, write_npz_atomic
 
-__all__ = ["CHECKPOINT_VERSION", "load_checkpoint", "save_checkpoint"]
+__all__ = [
+    "CHECKPOINT_VERSION",
+    "load_checkpoint",
+    "load_serving_state",
+    "save_checkpoint",
+]
 
 CHECKPOINT_VERSION = 1
 
@@ -37,11 +42,18 @@ _ARRAY_MEMBERS = (
     "interest_indptr",
     "interest_topics",
     "churn_state",
+    "serving_state",
 )
 
 
-def save_checkpoint(path, reprovisioner, churn_model=None) -> str:
-    """Atomically persist a reprovisioner (and optional churn model)."""
+def save_checkpoint(path, reprovisioner, churn_model=None, serving_state=None) -> str:
+    """Atomically persist a reprovisioner (and optional churn model).
+
+    ``serving_state`` is an optional JSON-able dict of serving-layer
+    counters (see :mod:`repro.serving.service`); like ``churn_state``
+    it rides along as a digested JSON member, so old checkpoints (which
+    simply lack the member) keep loading and old readers skip it.
+    """
     path = str(path)
     snap = reprovisioner.snapshot()
     workload = snap["workload"]
@@ -76,8 +88,22 @@ def save_checkpoint(path, reprovisioner, churn_model=None) -> str:
         members["churn_state"] = np.frombuffer(
             json.dumps(state).encode("utf-8"), dtype=np.uint8
         )
+    if serving_state is not None:
+        members["serving_state"] = np.frombuffer(
+            json.dumps(serving_state).encode("utf-8"), dtype=np.uint8
+        )
     write_npz_atomic(path, members, digest_members=_ARRAY_MEMBERS)
     return path
+
+
+def load_serving_state(path) -> Optional[dict]:
+    """The serving-layer counters member, or ``None`` when absent."""
+    path = str(path)
+    with np.load(path, allow_pickle=False) as data:
+        if "serving_state" not in data.files:
+            return None
+        blob = bytes(verified_member(data, "serving_state", path))
+    return json.loads(blob.decode("utf-8"))
 
 
 def load_checkpoint(path, plan, solver=None) -> Tuple[object, Optional[object]]:

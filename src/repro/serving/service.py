@@ -1,0 +1,334 @@
+"""The micro-epoch serving loop around the incremental reprovisioner.
+
+:class:`MicroEpochService` turns the batch
+:class:`~repro.dynamic.reprovision.IncrementalReprovisioner` into a
+long-running service:
+
+* churn arrives continuously as :class:`~repro.serving.queue.ChurnFragment`
+  slices through :meth:`offer` / :meth:`ingest_delta` and buffers in a
+  :class:`~repro.serving.queue.ChurnIngestQueue`;
+* :meth:`run_micro_epoch` seals the buffered fragments into one exact
+  :class:`~repro.dynamic.churn.WorkloadDelta` and steps the
+  reprovisioner once -- thanks to the lossless reassembly and the
+  merge-maintained group index, the resulting placements are
+  bit-identical to the batch pipeline (and, with
+  ``fresh_solve_every=1``, to the ``reprovision-loop`` referee)
+  however the stream was fragmented;
+* every micro-epoch feeds the :class:`~repro.serving.slo.ServingMetrics`
+  SLO view (exact p50/p95/p99 epoch latency, ops/s, moves/s, queue
+  depth, cost drift);
+* on cadence the service checkpoints through
+  :mod:`repro.resilience.checkpoint` and :meth:`resume` continues a
+  killed run bit-exactly -- the same guarantee the epoch experiments
+  pin, extended with the serving counters;
+* :meth:`replay_traffic` measures the *live placement* under realistic
+  traffic via the broker runtime (M/G/1 latency over the planned
+  rates) and the discrete-event simulator.
+
+The service constructs no RNGs: churn randomness lives in the caller's
+:class:`~repro.dynamic.churn.ChurnModel` and simulation randomness
+behind the engine's config seam, keeping the serving layer replayable.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass
+from typing import List, Optional, Sequence
+
+from ..broker.cluster import BrokerCluster, ClusterLatencyReport
+from ..core import MCSSProblem
+from ..dynamic.reprovision import EpochReport, IncrementalReprovisioner
+from ..resilience.checkpoint import (
+    load_checkpoint,
+    load_serving_state,
+    save_checkpoint,
+)
+from ..simulation import DeploymentReport, SimulationConfig, simulate_placement
+from .queue import ChurnFragment, ChurnIngestQueue, split_delta
+from .slo import ServingMetrics
+
+__all__ = [
+    "MicroEpochReport",
+    "MicroEpochService",
+    "ServingConfig",
+    "TrafficReport",
+]
+
+
+@dataclass(frozen=True)
+class ServingConfig:
+    """Knobs for a serving run (solve parameters + cadences)."""
+
+    rebuild_threshold: float = 1.15
+    fresh_solve_every: int = 8
+    checkpoint_path: Optional[str] = None
+    checkpoint_every: int = 0
+    slo_p99_seconds: float = 0.0
+    traffic_every: int = 0
+    traffic_horizon: float = 0.05
+    traffic_seed: int = 0
+
+    def __post_init__(self) -> None:
+        if self.checkpoint_every < 0:
+            raise ValueError("checkpoint_every must be >= 0")
+        if self.checkpoint_every and not self.checkpoint_path:
+            raise ValueError("checkpoint_every needs a checkpoint_path")
+        if self.traffic_every < 0:
+            raise ValueError("traffic_every must be >= 0")
+        if not 0 < self.traffic_horizon <= 1:
+            raise ValueError("traffic_horizon must be in (0, 1]")
+
+
+@dataclass(frozen=True)
+class TrafficReport:
+    """Live-placement traffic replay: queueing model + event replay."""
+
+    latency: ClusterLatencyReport
+    deployment: DeploymentReport
+
+
+@dataclass(frozen=True)
+class MicroEpochReport:
+    """One micro-epoch's outcome, as seen by the serving layer."""
+
+    micro_epoch: int
+    report: EpochReport
+    ops: int
+    queue_depth: int
+    seconds: float
+    traffic: Optional[TrafficReport] = None
+
+
+class MicroEpochService:
+    """Serve a placement under continuous churn, one micro-epoch at a time."""
+
+    def __init__(
+        self,
+        problem: MCSSProblem,
+        config: ServingConfig = ServingConfig(),
+        solver=None,
+        clock=None,
+    ) -> None:
+        reprovisioner = IncrementalReprovisioner(
+            problem,
+            rebuild_threshold=config.rebuild_threshold,
+            solver=solver,
+            fresh_solve_every=config.fresh_solve_every,
+        )
+        self._init_from(reprovisioner, config, clock)
+
+    @classmethod
+    def from_reprovisioner(
+        cls,
+        reprovisioner: IncrementalReprovisioner,
+        config: ServingConfig = ServingConfig(),
+        clock=None,
+    ) -> "MicroEpochService":
+        """Wrap an existing reprovisioner (e.g. a restored one)."""
+        inst = cls.__new__(cls)
+        inst._init_from(reprovisioner, config, clock)
+        return inst
+
+    def _init_from(self, reprovisioner, config, clock) -> None:
+        self._reprovisioner = reprovisioner
+        self._config = config
+        self._clock = clock if clock is not None else time.perf_counter
+        self._queue = ChurnIngestQueue()
+        self._metrics = ServingMetrics(clock=self._clock)
+        self._micro_epochs = 0
+        self._churn_model = None
+
+    # ---- read surface ------------------------------------------------
+    @property
+    def config(self) -> ServingConfig:
+        """The serving configuration."""
+        return self._config
+
+    @property
+    def reprovisioner(self) -> IncrementalReprovisioner:
+        """The wrapped placement maintainer."""
+        return self._reprovisioner
+
+    @property
+    def metrics(self) -> ServingMetrics:
+        """The SLO metrics view."""
+        return self._metrics
+
+    @property
+    def queue_depth(self) -> int:
+        """Churn operations buffered and not yet sealed."""
+        return self._queue.depth
+
+    @property
+    def micro_epochs(self) -> int:
+        """Micro-epochs served (including before a resume)."""
+        return self._micro_epochs
+
+    def placement(self):
+        """The live placement."""
+        return self._reprovisioner.placement()
+
+    def metrics_snapshot(self) -> dict:
+        """Flat metrics view (see :meth:`ServingMetrics.snapshot`)."""
+        return self._metrics.snapshot()
+
+    # ---- ingestion ---------------------------------------------------
+    def offer(self, fragment: ChurnFragment) -> None:
+        """Buffer one churn fragment for the next micro-epoch."""
+        self._queue.offer(fragment)
+
+    def ingest_delta(self, delta, cuts: Sequence[int] = ()) -> None:
+        """Buffer a whole epoch delta, optionally pre-split at ``cuts``.
+
+        Splitting then re-sealing is lossless (see
+        :func:`~repro.serving.queue.split_delta`), so any ``cuts`` --
+        including none -- yield the same micro-epoch.
+        """
+        for fragment in split_delta(delta, cuts):
+            self.offer(fragment)
+
+    # ---- the serving loop --------------------------------------------
+    def run_micro_epoch(self, workload, changed_topics) -> MicroEpochReport:
+        """Seal the buffered churn into one delta and step the placement.
+
+        ``workload`` is the epoch's resulting workload and
+        ``changed_topics`` its re-priced topics (both from the churn
+        source; rate drift applies at the seal, not per fragment).
+        """
+        depth_before = self._queue.depth
+        delta = self._queue.seal_epoch(workload, changed_topics)
+        t0 = self._clock()
+        report = self._reprovisioner.step(delta)
+        seconds = self._clock() - t0
+        self._micro_epochs += 1
+        ops = int(
+            delta.subscribed_topics.size
+            + delta.unsubscribed_topics.size
+            + delta.changed_topics.size
+        )
+        self._metrics.record_epoch(
+            report,
+            ops=ops,
+            queue_depth=depth_before,
+            seconds=seconds,
+            num_vms=self._reprovisioner.num_vms,
+        )
+        traffic = None
+        cfg = self._config
+        if cfg.traffic_every and self._micro_epochs % cfg.traffic_every == 0:
+            traffic = self.replay_traffic()
+        if cfg.checkpoint_every and self._micro_epochs % cfg.checkpoint_every == 0:
+            self.checkpoint(cfg.checkpoint_path)
+        return MicroEpochReport(
+            micro_epoch=self._micro_epochs,
+            report=report,
+            ops=ops,
+            queue_depth=depth_before,
+            seconds=seconds,
+            traffic=traffic,
+        )
+
+    def serve(self, churn_model, micro_epochs: int) -> List[MicroEpochReport]:
+        """Drive ``micro_epochs`` epochs from a churn model.
+
+        Each churn epoch is ingested as one fragment and sealed
+        immediately -- the simplest cadence.  Callers needing
+        finer-grained arrival patterns drive :meth:`offer` /
+        :meth:`run_micro_epoch` directly; the sealed delta (and hence
+        the placement trajectory) is identical either way.
+        """
+        self._churn_model = churn_model
+        reports = []
+        for _ in range(int(micro_epochs)):
+            delta = churn_model.step()
+            self.ingest_delta(delta)
+            reports.append(
+                self.run_micro_epoch(delta.workload, delta.changed_topics)
+            )
+        return reports
+
+    # ---- traffic replay ----------------------------------------------
+    def replay_traffic(self, horizon_fraction: Optional[float] = None) -> TrafficReport:
+        """Measure the live placement under realistic traffic.
+
+        Builds the broker runtime for the current placement, prices its
+        per-node M/G/1 latency at the planned rates, and replays a
+        discrete-event horizon through the simulator (metering +
+        satisfaction audit).
+        """
+        cfg = self._config
+        problem = self._reprovisioner.problem
+        placement = self._reprovisioner.placement()
+        cluster = BrokerCluster(problem, placement)
+        latency = cluster.latency_report(period_seconds=1.0)
+        deployment = simulate_placement(
+            problem,
+            placement,
+            SimulationConfig(
+                horizon_fraction=(
+                    cfg.traffic_horizon
+                    if horizon_fraction is None
+                    else horizon_fraction
+                ),
+                seed=cfg.traffic_seed,
+            ),
+        )
+        return TrafficReport(latency=latency, deployment=deployment)
+
+    # ---- checkpoint / resume -----------------------------------------
+    def serving_state(self) -> dict:
+        """The serving counters that ride along in a checkpoint."""
+        reg = self._metrics.registry
+        return {
+            "micro_epochs": self._micro_epochs,
+            "ops": int(reg.counter("serve.ops").value),
+            "moves": int(reg.counter("serve.moves").value),
+            "pairs_added": int(reg.counter("serve.pairs_added").value),
+            "pairs_removed": int(reg.counter("serve.pairs_removed").value),
+            "rebuilds": int(reg.counter("serve.rebuilds").value),
+        }
+
+    def checkpoint(self, path=None) -> str:
+        """Persist the full serving state atomically; returns the path."""
+        path = path or self._config.checkpoint_path
+        if not path:
+            raise ValueError("no checkpoint path configured")
+        return save_checkpoint(
+            path,
+            self._reprovisioner,
+            churn_model=self._churn_model,
+            serving_state=self.serving_state(),
+        )
+
+    @classmethod
+    def resume(
+        cls,
+        path,
+        plan,
+        config: ServingConfig = ServingConfig(),
+        solver=None,
+        clock=None,
+    ):
+        """Restore ``(service, churn_model_or_None)`` from a checkpoint.
+
+        The reprovisioner resumes bit-exactly (same guarantee as the
+        epoch experiments); the serving counters continue from their
+        checkpointed values.  Latency samples are wall-clock and start
+        fresh -- quantiles describe the current process, not the dead
+        one.
+        """
+        reprovisioner, churn_model = load_checkpoint(path, plan, solver=solver)
+        inst = cls.from_reprovisioner(reprovisioner, config, clock=clock)
+        state = load_serving_state(path)
+        if state is not None:
+            inst._micro_epochs = int(state["micro_epochs"])
+            reg = inst._metrics.registry
+            reg.counter("serve.ops").inc(int(state["ops"]))
+            reg.counter("serve.moves").inc(int(state["moves"]))
+            reg.counter("serve.pairs_added").inc(int(state["pairs_added"]))
+            reg.counter("serve.pairs_removed").inc(int(state["pairs_removed"]))
+            reg.counter("serve.rebuilds").inc(int(state["rebuilds"]))
+        if churn_model is not None:
+            inst._churn_model = churn_model
+        return inst, churn_model

@@ -1,0 +1,112 @@
+"""The retired ``PairSelection`` constructor names: shims, not paths.
+
+Pins three facts about the deprecation shims left behind by the
+array-construction API consolidation:
+
+* each shim emits its ``DeprecationWarning`` exactly once per process
+  (warn-once), with the replacement spelled out in the message;
+* the shims are pure forwards -- the selections they return are
+  bit-identical to the canonical ``from_csr`` / trusted-constructor
+  spellings;
+* nothing else in tier-1 goes through a shim: the process-wide
+  warn-once registry is still empty when this module checks it, so a
+  future caller regressing onto a shim trips a test, not just a
+  warning filter.
+"""
+
+from __future__ import annotations
+
+import warnings
+
+import numpy as np
+import pytest
+
+import repro.core.pairs as pairs_mod
+from repro.core import PairSelection
+
+
+@pytest.fixture()
+def fresh_warn_registry(monkeypatch):
+    """Isolate the process-wide warn-once set for one test."""
+    monkeypatch.setattr(pairs_mod, "_WARNED_SHIMS", set())
+
+
+def _by_topic():
+    return {
+        3: np.array([7, 1, 4], dtype=np.int64),
+        0: np.array([2], dtype=np.int64),
+        9: np.array([5, 0], dtype=np.int64),
+    }
+
+
+def _assert_same_selection(got: PairSelection, want: PairSelection) -> None:
+    assert got == want
+    got_t, got_v = got.pair_arrays()
+    want_t, want_v = want.pair_arrays()
+    np.testing.assert_array_equal(got_t, want_t)
+    np.testing.assert_array_equal(got_v, want_v)
+
+
+class TestWarnOnce:
+    def test_from_trusted_arrays_warns_exactly_once(self, fresh_warn_registry):
+        with pytest.warns(DeprecationWarning, match="trusted=True") as record:
+            first = PairSelection.from_trusted_arrays(_by_topic())
+        assert len(record) == 1
+        with warnings.catch_warnings(record=True) as silent:
+            warnings.simplefilter("always")
+            second = PairSelection.from_trusted_arrays(_by_topic())
+        assert silent == []
+        _assert_same_selection(first, second)
+
+    def test_from_pair_arrays_warns_exactly_once(self, fresh_warn_registry):
+        topics = np.array([5, 2, 5, 0], dtype=np.int64)
+        subs = np.array([1, 3, 0, 2], dtype=np.int64)
+        with pytest.warns(DeprecationWarning, match="from_csr") as record:
+            first = PairSelection.from_pair_arrays(topics, subs)
+        assert len(record) == 1
+        with warnings.catch_warnings(record=True) as silent:
+            warnings.simplefilter("always")
+            second = PairSelection.from_pair_arrays(topics, subs)
+        assert silent == []
+        _assert_same_selection(first, second)
+
+    def test_shims_warn_independently(self, fresh_warn_registry):
+        with pytest.warns(DeprecationWarning):
+            PairSelection.from_trusted_arrays(_by_topic())
+        # The other shim's first use still warns.
+        with pytest.warns(DeprecationWarning):
+            PairSelection.from_pair_arrays(
+                np.array([1], dtype=np.int64), np.array([2], dtype=np.int64)
+            )
+
+
+class TestShimsForwardExactly:
+    def test_from_trusted_arrays_matches_trusted_constructor(
+        self, fresh_warn_registry
+    ):
+        with pytest.warns(DeprecationWarning):
+            shimmed = PairSelection.from_trusted_arrays(_by_topic())
+        _assert_same_selection(shimmed, PairSelection(_by_topic(), trusted=True))
+
+    def test_from_pair_arrays_matches_from_csr(self, fresh_warn_registry):
+        rng = np.random.default_rng(5)
+        topics = rng.integers(0, 40, size=200)
+        # Unique (t, v) pairs, shuffled: the from_csr contract.
+        keys = np.unique(topics * 1000 + rng.integers(0, 1000, size=200))
+        rng.shuffle(keys)
+        topics, subs = keys // 1000, keys % 1000
+        with pytest.warns(DeprecationWarning):
+            shimmed = PairSelection.from_pair_arrays(topics, subs)
+        _assert_same_selection(
+            shimmed, PairSelection.from_csr(topics, None, subs, trusted=True)
+        )
+
+
+def test_no_tier1_path_fires_a_shim():
+    """The real process-wide registry must be untouched by the suite.
+
+    Every shim test above swaps in a scratch registry, so any name in
+    the real one was put there by production code imported and run by
+    tier-1 -- exactly the regression this guards against.
+    """
+    assert pairs_mod._WARNED_SHIMS == set()

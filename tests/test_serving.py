@@ -1,0 +1,465 @@
+"""The serving layer: queue reassembly, group index, SLO metrics, resume.
+
+Four contracts, all deterministic (no timing-flaky assertions):
+
+* **Lossless ingestion** -- however an epoch's operation stream is
+  fragmented, the sealed :class:`WorkloadDelta` is bit-identical to the
+  original, and the queue's depth accounting tracks exactly.
+* **Incremental group index** -- the merge-maintained permutations of
+  :mod:`repro.dynamic.group_index` equal the ``np.lexsort`` results
+  they replace, on random inputs and on the live reprovisioner state
+  after churn steps (including the int64-overflow lexsort fallback).
+* **Exact SLO metrics** -- a scripted fake clock drives the latency
+  recorder; p50/p95/p99 are exact nearest-rank quantiles, throughput
+  counters are monotonic, queue depth is accounted at seal time.
+* **Kill-mid-serve resume** -- a checkpointed-and-killed serving run
+  continues bit-exactly (placements, costs, report fields, serving
+  counters), mirroring ``TestCheckpointResumeEquivalence``.
+
+The end-to-end referee pin (randomized splits vs ``reprovision-loop``)
+lives in ``tests/test_vectorized_equivalence.py``.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.broker.metrics import LatencyRecorder
+from repro.core import MCSSProblem
+from repro.dynamic import ChurnConfig, ChurnModel, IncrementalReprovisioner
+from repro.dynamic.group_index import advance_orders
+from repro.packing import diff_placements
+from repro.serving import (
+    ChurnFragment,
+    ChurnIngestQueue,
+    MicroEpochService,
+    ServingConfig,
+    ServingMetrics,
+    split_delta,
+)
+from tests.test_vectorized_equivalence import churn_problem, edgy_workload
+
+CHURN = ChurnConfig(
+    unsubscribe_fraction=0.2, subscribe_fraction=0.2, rate_drift_sigma=0.1
+)
+
+
+class FakeClock:
+    """A scripted monotonic clock: each call returns the next value."""
+
+    def __init__(self, *values):
+        self._values = list(values)
+        self._last = 0.0
+
+    def extend(self, *values):
+        self._values.extend(values)
+
+    def __call__(self):
+        if self._values:
+            self._last = self._values.pop(0)
+        return self._last
+
+
+def random_delta(seed):
+    rng = np.random.default_rng(seed)
+    workload = edgy_workload(rng)
+    model = ChurnModel(workload, CHURN, seed=seed)
+    return model.step(), rng
+
+
+class TestQueueReassembly:
+    """Fragment -> seal round-trips are lossless; depth accounting exact."""
+
+    @pytest.mark.parametrize("seed", range(12))
+    def test_random_splits_roundtrip(self, seed):
+        delta, rng = random_delta(100 + seed)
+        num_ops = int(
+            delta.subscribed_topics.size + delta.unsubscribed_topics.size
+        )
+        cuts = rng.integers(0, num_ops + 1, size=int(rng.integers(0, 6)))
+        fragments = split_delta(delta, cuts.tolist())
+        assert len(fragments) == cuts.size + 1
+        assert sum(f.num_ops for f in fragments) == num_ops
+
+        queue = ChurnIngestQueue()
+        depth = 0
+        for fragment in fragments:
+            queue.offer(fragment)
+            depth += fragment.num_ops
+            assert queue.depth == depth
+        assert queue.fragments_pending == len(fragments)
+
+        sealed = queue.seal_epoch(delta.workload, delta.changed_topics)
+        for name in (
+            "subscribed_topics",
+            "subscribed_subscribers",
+            "unsubscribed_topics",
+            "unsubscribed_subscribers",
+            "changed_topics",
+        ):
+            np.testing.assert_array_equal(
+                getattr(sealed, name), getattr(delta, name), err_msg=name
+            )
+        assert sealed.workload is delta.workload
+        assert queue.depth == 0
+        assert queue.fragments_pending == 0
+
+    def test_empty_seal_is_a_quiet_epoch(self, tiny_workload):
+        queue = ChurnIngestQueue()
+        sealed = queue.seal_epoch(tiny_workload, np.empty(0, dtype=np.int64))
+        assert sealed.subscribed_topics.size == 0
+        assert sealed.unsubscribed_topics.size == 0
+
+    def test_out_of_range_cuts_rejected(self):
+        delta, _rng = random_delta(7)
+        num_ops = int(
+            delta.subscribed_topics.size + delta.unsubscribed_topics.size
+        )
+        with pytest.raises(ValueError, match="cuts"):
+            split_delta(delta, [num_ops + 1])
+        with pytest.raises(ValueError, match="cuts"):
+            split_delta(delta, [-1])
+
+    def test_fragment_validates_parallel_arrays(self):
+        with pytest.raises(ValueError, match="parallel"):
+            ChurnFragment(
+                np.array([1]), np.array([1, 2]), np.array([]), np.array([])
+            )
+        with pytest.raises(TypeError):
+            ChurnIngestQueue().offer("not a fragment")
+
+
+class TestGroupIndexMaintenance:
+    """Merge-maintained orders == the lexsorts they replace, bit for bit."""
+
+    @staticmethod
+    def _random_tables(rng, big=False):
+        scale = 2**21 if big else 40
+        n_old = int(rng.integers(0, 30))
+        old_v = rng.integers(0, scale, size=n_old)
+        old_t = rng.integers(0, scale, size=n_old)
+        old_vm = rng.integers(0, scale, size=n_old)
+        # Unique (v, t) keys in canonical order, like the live table.
+        keys = old_v * (4 * scale) + old_t
+        _, idx = np.unique(keys, return_index=True)
+        old_v, old_t, old_vm = old_v[idx], old_t[idx], old_vm[idx]
+        order = np.lexsort((old_t, old_v))
+        old_v, old_t, old_vm = old_v[order], old_t[order], old_vm[order]
+        keys = old_v * (4 * scale) + old_t  # now sorted and unique
+
+        keep = rng.random(old_v.size) < 0.7
+        n_add = int(rng.integers(0, 20))
+        add_v = rng.integers(0, scale, size=n_add)
+        add_t = rng.integers(0, scale, size=n_add)
+        add_vm = rng.integers(0, scale, size=n_add)
+        # Added keys must not collide with kept keys (or each other).
+        add_keys = add_v * (4 * scale) + add_t
+        _, first = np.unique(add_keys, return_index=True)
+        fresh = np.zeros(add_keys.size, dtype=bool)
+        fresh[first] = True
+        fresh &= ~np.isin(add_keys, keys[keep])
+        add_v, add_t, add_vm = add_v[fresh], add_t[fresh], add_vm[fresh]
+        return (old_v, old_t, old_vm), keep, (add_v, add_t, add_vm)
+
+    @pytest.mark.parametrize("seed", range(24))
+    @pytest.mark.parametrize("big", [False, True])
+    def test_advance_orders_matches_lexsort(self, seed, big):
+        rng = np.random.default_rng(300 + seed)
+        (old_v, old_t, old_vm), keep, (add_v, add_t, add_vm) = (
+            self._random_tables(rng, big=big)
+        )
+        old_bt = np.lexsort((old_t, old_vm))
+        kept_rank = np.cumsum(keep) - 1
+        sel = keep[old_bt]
+        kept_bt = kept_rank[old_bt[sel]]
+        p_v, p_t, p_vm, bt_perm = advance_orders(
+            old_v[keep], old_t[keep], old_vm[keep],
+            kept_bt, add_v, add_t, add_vm,
+        )
+        ref_v = np.concatenate([old_v[keep], add_v])
+        ref_t = np.concatenate([old_t[keep], add_t])
+        ref_vm = np.concatenate([old_vm[keep], add_vm])
+        ref_order = np.lexsort((ref_t, ref_v))
+        np.testing.assert_array_equal(p_v, ref_v[ref_order])
+        np.testing.assert_array_equal(p_t, ref_t[ref_order])
+        np.testing.assert_array_equal(p_vm, ref_vm[ref_order])
+        np.testing.assert_array_equal(bt_perm, np.lexsort((p_t, p_vm)))
+
+    def test_overflow_guard_falls_back_to_lexsort(self):
+        huge = np.array([2**31], dtype=np.int64)
+        p_v, p_t, p_vm, bt_perm = advance_orders(
+            huge, huge, huge, np.array([0]), huge + 1, huge, huge
+        )
+        assert p_v.size == 2
+        np.testing.assert_array_equal(bt_perm, np.lexsort((p_t, p_vm)))
+
+    def test_empty_everything(self):
+        e = np.empty(0, dtype=np.int64)
+        p_v, p_t, p_vm, bt_perm = advance_orders(e, e, e, e, e, e, e)
+        assert p_v.size == p_t.size == p_vm.size == bt_perm.size == 0
+
+    @pytest.mark.parametrize("seed", range(8))
+    def test_live_reprovisioner_invariant(self, seed):
+        # After every churn step, the maintained permutation must equal
+        # the lexsort it replaced -- on the live pair arrays.
+        rng = np.random.default_rng(400 + seed)
+        workload = edgy_workload(rng)
+        problem = churn_problem(workload, rng)
+        model = ChurnModel(workload, CHURN, seed=seed)
+        reprov = IncrementalReprovisioner(problem, fresh_solve_every=2)
+        for _ in range(5):
+            reprov.step(model.step())
+            np.testing.assert_array_equal(
+                reprov._bt_perm, np.lexsort((reprov._p_t, reprov._p_vm))
+            )
+
+
+class TestServingMetrics:
+    """Exact quantiles, monotonic counters, deterministic clocks."""
+
+    def test_latency_recorder_exact_quantiles(self):
+        rec = LatencyRecorder(clock=FakeClock())
+        for s in [5.0, 1.0, 4.0, 2.0, 3.0]:
+            rec.observe(s)
+        assert rec.count == 5
+        assert rec.quantile(0.50) == 3.0  # nearest-rank: ceil(0.5*5) = 3rd
+        assert rec.quantile(0.0) == 1.0
+        assert rec.quantile(1.0) == 5.0
+        assert rec.max == 5.0
+        assert rec.mean == pytest.approx(3.0)
+        assert rec.total == pytest.approx(15.0)
+
+    def test_latency_recorder_percentiles_1_to_100(self):
+        rec = LatencyRecorder(clock=FakeClock())
+        for s in range(100, 0, -1):
+            rec.observe(float(s))
+        assert rec.quantile(0.50) == 50.0
+        assert rec.quantile(0.95) == 95.0
+        assert rec.quantile(0.99) == 99.0
+
+    def test_latency_recorder_clocked_intervals(self):
+        clock = FakeClock(10.0, 12.5, 20.0, 20.25)
+        rec = LatencyRecorder(clock=clock)
+        rec.start()
+        assert rec.stop() == pytest.approx(2.5)
+        rec.start()
+        assert rec.stop() == pytest.approx(0.25)
+        assert rec.count == 2
+        with pytest.raises(RuntimeError, match="start"):
+            rec.stop()
+        with pytest.raises(ValueError):
+            rec.observe(-1.0)
+        with pytest.raises(ValueError):
+            rec.quantile(1.5)
+
+    def test_serving_metrics_exact_slo_view(self):
+        from repro.core import SolutionCost
+        from repro.dynamic import EpochReport
+
+        metrics = ServingMetrics(clock=FakeClock())
+        cost = SolutionCost(
+            num_vms=3, total_bytes=1e6, vm_usd=30.0, bandwidth_usd=3.0
+        )
+        seconds = [0.4, 0.1, 0.2, 0.3]
+        for i, s in enumerate(seconds):
+            report = EpochReport(
+                epoch=i + 1,
+                cost=cost,
+                fresh_cost=cost,
+                pairs_added=5,
+                pairs_removed=2,
+                pairs_moved=1,
+                vms_opened=0,
+                vms_closed=0,
+                rebuilt=(i == 3),
+                seconds=s,
+            )
+            metrics.record_epoch(
+                report, ops=10, queue_depth=7 + i, seconds=s, num_vms=3
+            )
+        snap = metrics.snapshot()
+        assert snap["serve.micro_epochs"] == 4.0
+        assert snap["serve.ops"] == 40.0
+        assert snap["serve.moves"] == 4.0
+        assert snap["serve.pairs_added"] == 20.0
+        assert snap["serve.rebuilds"] == 1.0
+        assert snap["serve.queue_depth"] == 10.0  # last seal's depth
+        assert snap["serve.epoch_latency.p50_s"] == 0.2
+        assert snap["serve.epoch_latency.p99_s"] == 0.4
+        assert snap["serve.epoch_latency.max_s"] == 0.4
+        assert snap["serve.ops_per_s"] == pytest.approx(40.0)  # 40 ops / 1.0 s
+        assert snap["serve.moves_per_s"] == pytest.approx(4.0)
+        assert metrics.check_slo(0.4) is True
+        assert metrics.check_slo(0.39) is False
+        with pytest.raises(ValueError):
+            metrics.check_slo(0.0)
+
+    def test_counters_stay_monotonic(self):
+        metrics = ServingMetrics(clock=FakeClock())
+        with pytest.raises(ValueError):
+            metrics.registry.counter("serve.ops").inc(-1)
+
+
+class TestMicroEpochService:
+    """Service mechanics: deterministic latency, cadences, traffic."""
+
+    @staticmethod
+    def _problem(seed):
+        rng = np.random.default_rng(seed)
+        workload = edgy_workload(rng)
+        return workload, churn_problem(workload, rng)
+
+    def test_fake_clock_drives_epoch_latency(self):
+        workload, problem = self._problem(42)
+        clock = FakeClock()
+        service = MicroEpochService(problem, clock=clock)
+        model = ChurnModel(workload, CHURN, seed=1)
+        for start, stop in [(100.0, 100.5), (200.0, 200.25)]:
+            delta = model.step()
+            service.ingest_delta(delta)
+            clock.extend(start, stop)
+            micro = service.run_micro_epoch(delta.workload, delta.changed_topics)
+            assert micro.seconds == pytest.approx(stop - start)
+        snap = service.metrics_snapshot()
+        assert snap["serve.epoch_latency.p99_s"] == pytest.approx(0.5)
+        assert snap["serve.epoch_latency.p50_s"] == pytest.approx(0.25)
+        assert service.micro_epochs == 2
+
+    def test_traffic_replay_reports_live_placement(self):
+        workload, problem = self._problem(43)
+        service = MicroEpochService(
+            problem, ServingConfig(traffic_every=2, traffic_horizon=0.2)
+        )
+        reports = service.serve(ChurnModel(workload, CHURN, seed=2), 2)
+        assert reports[0].traffic is None
+        traffic = reports[1].traffic
+        assert traffic is not None
+        assert 0.0 <= traffic.latency.max_utilization
+        assert len(traffic.deployment.vm_meters) == service.placement().num_vms
+
+    def test_config_validation(self):
+        with pytest.raises(ValueError, match="checkpoint_path"):
+            ServingConfig(checkpoint_every=2)
+        with pytest.raises(ValueError, match="traffic_horizon"):
+            ServingConfig(traffic_horizon=0.0)
+        with pytest.raises(ValueError, match="checkpoint_every"):
+            ServingConfig(checkpoint_every=-1)
+
+
+class TestServingCheckpointResume:
+    """Kill-mid-serve == never-killed, bit for bit (+ carried counters)."""
+
+    @staticmethod
+    def _assert_same_report(got, want):
+        for field in (
+            "epoch",
+            "pairs_added",
+            "pairs_removed",
+            "pairs_moved",
+            "vms_opened",
+            "vms_closed",
+            "rebuilt",
+        ):
+            assert getattr(got.report, field) == getattr(want.report, field), field
+        assert got.report.cost.num_vms == want.report.cost.num_vms
+        assert got.report.cost.total_usd == want.report.cost.total_usd
+        assert got.ops == want.ops
+
+    @pytest.mark.parametrize("seed", range(6))
+    def test_kill_mid_serve_resumes_bit_exact(self, seed, tmp_path):
+        rng = np.random.default_rng(17_000 + seed)
+        workload = edgy_workload(rng)
+        problem = churn_problem(workload, rng)
+        path = str(tmp_path / "serve.npz")
+        config = ServingConfig(
+            fresh_solve_every=int(rng.choice([1, 3])),
+            checkpoint_path=path,
+            checkpoint_every=3,
+        )
+
+        ref = MicroEpochService(problem, config)
+        ref_reports = ref.serve(ChurnModel(workload, CHURN, seed=seed), 6)
+
+        service = MicroEpochService(problem, config)
+        reports = service.serve(ChurnModel(workload, CHURN, seed=seed), 3)
+        del service  # the "kill": nothing survives but the checkpoint
+
+        resumed, churn_model = MicroEpochService.resume(
+            path, problem.plan, config
+        )
+        assert churn_model is not None
+        assert resumed.micro_epochs == 3
+        # Carried counters: ops so far, not just since the resume.
+        assert (
+            resumed.metrics.registry.counter("serve.ops").value
+            == sum(r.ops for r in reports)
+        )
+        reports += resumed.serve(churn_model, 3)
+
+        assert len(reports) == len(ref_reports) == 6
+        for got, want in zip(reports, ref_reports):
+            self._assert_same_report(got, want)
+        assert diff_placements(resumed.placement(), ref.placement()) is None
+        assert (
+            resumed.reprovisioner.selection() == ref.reprovisioner.selection()
+        )
+        assert (
+            resumed.metrics.registry.counter("serve.ops").value
+            == ref.metrics.registry.counter("serve.ops").value
+        )
+
+    @pytest.mark.parametrize("seed", range(3))
+    def test_runner_resume_matches_uninterrupted(self, seed, tmp_path):
+        from repro.experiments import run_serving_experiment
+
+        rng = np.random.default_rng(18_000 + seed)
+        workload = edgy_workload(rng)
+        problem = churn_problem(workload, rng)
+        path = str(tmp_path / "serve-run.npz")
+        config = ServingConfig(checkpoint_path=path, checkpoint_every=2)
+
+        ref = run_serving_experiment(
+            workload, problem.plan, problem.tau, 6, seed=seed,
+            churn_config=CHURN,
+        )
+        first = run_serving_experiment(
+            workload, problem.plan, problem.tau, 4, seed=seed,
+            churn_config=CHURN, serving_config=config,
+        )
+        assert first.checkpoints_written == 2
+        resumed = run_serving_experiment(
+            workload, problem.plan, problem.tau, 6, seed=seed,
+            churn_config=CHURN, serving_config=config, resume=True,
+        )
+        assert resumed.resumed_from_micro_epoch == 4
+        assert len(resumed.reports) == 2
+
+        reports = first.reports + resumed.reports
+        for got, want in zip(reports, ref.reports):
+            self._assert_same_report(got, want)
+        assert diff_placements(
+            resumed.service.placement(), ref.service.placement()
+        ) is None
+        assert resumed.metrics["serve.ops"] == ref.metrics["serve.ops"]
+
+    def test_old_checkpoints_without_serving_state_load(self, tmp_path):
+        # A churn-era checkpoint (no serving_state member) must resume
+        # with counters starting at the reprovisioner's epoch.
+        from repro.resilience import save_checkpoint
+
+        rng = np.random.default_rng(99)
+        workload = edgy_workload(rng)
+        problem = churn_problem(workload, rng)
+        model = ChurnModel(workload, CHURN, seed=0)
+        reprov = IncrementalReprovisioner(problem)
+        reprov.step(model.step())
+        path = str(tmp_path / "old.npz")
+        save_checkpoint(path, reprov, model)
+
+        service, churn_model = MicroEpochService.resume(path, problem.plan)
+        assert churn_model is not None
+        assert service.micro_epochs == 0  # no serving counters recorded
+        assert service.metrics.registry.counter("serve.ops").value == 0
+        service.serve(churn_model, 1)
+        assert service.micro_epochs == 1

@@ -38,7 +38,13 @@ as executable specifications:
   referee's every-epoch fresh solve)  ==
   ``LoopIncrementalReprovisioner`` (the retained ``reprovision-loop``
   referee) -- *identical epoch placements*, costs, EpochReport move
-  counts and rebuild decisions on shared-seed churn streams.
+  counts and rebuild decisions on shared-seed churn streams;
+* ``MicroEpochService`` (the serving layer: churn fragments queued,
+  sealed per micro-epoch, stepped through the merge-maintained group
+  index; run with ``fresh_solve_every=1``)  ==
+  ``LoopIncrementalReprovisioner`` stepping the same churn whole --
+  identical placements and costs across *randomized* fragment splits
+  of every epoch's operation stream.
 
 All generated rates are integer-valued, so every partial sum is
 exactly representable and the equivalence is bit-exact (the documented
@@ -1025,3 +1031,57 @@ class TestCheckpointResumeEquivalence:
         assert diff_placements(
             resumed.reprovisioner.placement(), ref.reprovisioner.placement()
         ) is None
+
+
+class TestServingEquivalence:
+    """The serving path == the reprovision-loop referee, split however.
+
+    Each epoch's churn is chopped into fragments at *random* positions
+    of its operation stream, offered to the ``MicroEpochService``'s
+    ingestion queue, and sealed into one micro-epoch; with
+    ``fresh_solve_every=1`` the serving trajectory (placements, costs,
+    report fields, selections) must be bit-identical to the referee
+    stepping the same churn epochs whole -- fragment boundaries are
+    wire format, not semantics.
+    """
+
+    @pytest.mark.parametrize("seed", range(NUM_RANDOM_WORKLOADS))
+    def test_random_fragment_splits_match_referee(self, seed):
+        from repro.serving import MicroEpochService, ServingConfig
+
+        rng = np.random.default_rng(16_000 + seed)
+        workload = edgy_workload(rng)
+        problem = churn_problem(workload, rng)
+        threshold = float(rng.choice([1.0, 1.05, 1.2]))
+        config = ChurnConfig(
+            unsubscribe_fraction=float(rng.choice([0.05, 0.3])),
+            subscribe_fraction=float(rng.choice([0.05, 0.3])),
+            rate_drift_sigma=float(rng.choice([0.0, 0.15])),
+        )
+        model = ChurnModel(workload, config, seed=seed)
+        service = MicroEpochService(
+            problem,
+            ServingConfig(rebuild_threshold=threshold, fresh_solve_every=1),
+        )
+        loop = LoopIncrementalReprovisioner(problem, rebuild_threshold=threshold)
+
+        for _ in range(4):
+            delta = model.step()
+            num_ops = int(
+                delta.subscribed_topics.size + delta.unsubscribed_topics.size
+            )
+            cuts = rng.integers(
+                0, num_ops + 1, size=int(rng.integers(0, 5))
+            ).tolist()
+            service.ingest_delta(delta, cuts)
+            micro = service.run_micro_epoch(delta.workload, delta.changed_topics)
+            loop_report = loop.step(delta)
+            TestReprovisionEquivalence._assert_same_epoch(
+                micro.report,
+                loop_report,
+                service.reprovisioner,
+                loop,
+                problem,
+            )
+            assert micro.ops >= num_ops  # + changed topics
+            assert service.queue_depth == 0  # sealed epochs drain fully
